@@ -1,0 +1,43 @@
+# Development targets for the vmpower reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench verify experiments csv cover fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full-size reproduction of every paper table/figure.
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+# Check every calibration band from DESIGN.md §5 (exits non-zero on drift).
+verify:
+	$(GO) run ./cmd/experiments -verify
+
+# Regenerate the figure CSVs under results/.
+csv:
+	$(GO) run ./cmd/experiments -run all -csv results
+
+cover:
+	$(GO) test -cover ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,403 @@
+package vmpower
+
+// The benchmark harness: one Benchmark per paper table/figure (each runs
+// the corresponding experiment end-to-end in Quick mode and reports the
+// headline metric via b.ReportMetric), plus micro-benchmarks of the hot
+// paths (exact/Monte-Carlo Shapley, the machine power model, the VHC
+// estimate, the serial frame codec).
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"vmpower/internal/experiments"
+	"vmpower/internal/machine"
+	"vmpower/internal/meter"
+	"vmpower/internal/meter/serial"
+	"vmpower/internal/shapley"
+	"vmpower/internal/vhc"
+	"vmpower/internal/vm"
+	"vmpower/internal/workload"
+)
+
+// benchExperiment runs a registered experiment per iteration and reports
+// the named metrics.
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	d, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	var res *experiments.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = d.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, m := range metrics {
+		if v, ok := res.Values[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// ---- one benchmark per paper artifact (DESIGN.md §4) ----
+
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, "table1", "general_purpose_usa")
+}
+
+func BenchmarkFig1(b *testing.B) {
+	benchExperiment(b, "fig1", "extra_energy_pct")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	benchExperiment(b, "fig3", "mean_rel_err")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	benchExperiment(b, "fig4", "xeon16_model_error", "pentium_model_error")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	benchExperiment(b, "fig5", "sibling_marginal")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	benchExperiment(b, "table3", "shapley_first")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	benchExperiment(b, "fig7", "scenario_a_vm1_decline_usage")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	benchExperiment(b, "table4", "sublinearity")
+}
+
+func BenchmarkTable5(b *testing.B) {
+	benchExperiment(b, "table5", "mean_cpu_sjeng")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	benchExperiment(b, "fig10", "overall_frac_below_5pct", "overall_max")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	benchExperiment(b, "fig11", "model_mean_rel_err", "shapley_mean_rel_err")
+}
+
+func BenchmarkFig12(b *testing.B) {
+	benchExperiment(b, "fig12", "measured")
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	benchExperiment(b, "headline", "frac_below_5pct", "mean_rel_err")
+}
+
+func BenchmarkMonteCarloAblation(b *testing.B) {
+	benchExperiment(b, "mc", "max_err_128")
+}
+
+func BenchmarkCapping(b *testing.B) {
+	benchExperiment(b, "capping", "capped_power", "breach_fraction")
+}
+
+func BenchmarkAdditivity(b *testing.B) {
+	benchExperiment(b, "additivity", "additivity_deviation")
+}
+
+func BenchmarkArbitrary(b *testing.B) {
+	benchExperiment(b, "arbitrary", "mean_err_k2", "mean_err_k4")
+}
+
+func BenchmarkAxioms(b *testing.B) {
+	benchExperiment(b, "axioms", "symmetry_gap_max")
+}
+
+func BenchmarkFleet(b *testing.B) {
+	benchExperiment(b, "fleet", "max_efficiency_gap")
+}
+
+func BenchmarkInteraction(b *testing.B) {
+	benchExperiment(b, "interaction", "vm1_pair")
+}
+
+// BenchmarkInteractionIndex measures the O(2^n·n²) pairwise index alone.
+func BenchmarkInteractionIndex(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			worth := func(s vm.Coalition) float64 {
+				size := float64(s.Size())
+				return 13*size - 0.4*size*size
+			}
+			table, err := shapley.Tabulate(n, worth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.InteractionIndex(n, table); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- micro-benchmarks of the hot paths ----
+
+// BenchmarkExactShapley measures the 2^n enumeration at the paper's
+// practical sizes.
+func BenchmarkExactShapley(b *testing.B) {
+	for _, n := range []int{5, 10, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			worth := func(s vm.Coalition) float64 {
+				size := float64(s.Size())
+				return 13*size - 0.4*size*size
+			}
+			table, err := shapley.Tabulate(n, worth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.ExactFromTable(n, table); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonteCarloShapley measures permutation sampling at n = 24
+// (beyond the exact method's practical range).
+func BenchmarkMonteCarloShapley(b *testing.B) {
+	const n = 24
+	worth := func(s vm.Coalition) float64 {
+		size := float64(s.Size())
+		return 13*size - 0.3*size*size
+	}
+	for _, perms := range []int{64, 256} {
+		b.Run(fmt.Sprintf("perms=%d", perms), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.MonteCarlo(n, worth, shapley.MCOptions{Permutations: perms, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMachinePower measures the ground-truth power function on the
+// 5-VM evaluation mix.
+func BenchmarkMachinePower(b *testing.B) {
+	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads := []machine.Load{
+		{VCPUs: 1, MemoryGB: 2, DiskGB: 20, State: vm.State{vm.CPU: 0.9}},
+		{VCPUs: 1, MemoryGB: 2, DiskGB: 20, State: vm.State{vm.CPU: 0.8}},
+		{VCPUs: 2, MemoryGB: 4, DiskGB: 40, State: vm.State{vm.CPU: 0.7}},
+		{VCPUs: 4, MemoryGB: 8, DiskGB: 80, State: vm.State{vm.CPU: 0.95}},
+		{VCPUs: 8, MemoryGB: 14, DiskGB: 100, State: vm.State{vm.CPU: 0.85}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mach.DynamicPower(loads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVHCEstimate measures one v(S,C) approximation lookup+dot.
+func BenchmarkVHCEstimate(b *testing.B) {
+	approx, err := vhc.New(4, vhc.Options{Resolution: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const combo = vhc.ComboMask(0b1111)
+	k := int(vm.NumComponents)
+	gen := workload.Synthetic{Seed: 5}
+	for i := 0; i < 300; i++ {
+		features := make([]float64, 4*k)
+		var power float64
+		for j := 0; j < 4; j++ {
+			s := gen.StateAt(i*4 + j)
+			copy(features[j*k:], s[:])
+			power += 13 * s[vm.CPU]
+		}
+		if err := approx.AddSample(combo, features, power); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := approx.Train(); err != nil {
+		b.Fatal(err)
+	}
+	query := make([]float64, 4*k)
+	for j := range query {
+		query[j] = 0.42
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := approx.Estimate(combo, query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialCodec measures meter frame encode+decode round-trips.
+func BenchmarkSerialCodec(b *testing.B) {
+	s := meter.Sample{Seq: 123456, Power: 151.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := serial.Encode(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := serial.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineEstimationTick measures one full online estimation tick
+// on the calibrated 5-VM system — the paper's 1 Hz real-time budget.
+func BenchmarkOnlineEstimationTick(b *testing.B) {
+	sys, err := New(Config{
+		Machine: Xeon16,
+		VMs: []VMSpec{
+			{Name: "vm1a", Type: Small}, {Name: "vm1b", Type: Small},
+			{Name: "vm2", Type: Medium}, {Name: "vm3", Type: Large},
+			{Name: "vm4", Type: XLarge},
+		},
+		Seed:             1,
+		CalibrationTicks: 60,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Calibrate(); err != nil {
+		b.Fatal(err)
+	}
+	suite := []string{"gcc", "sjeng", "omnetpp", "wrf", "namd"}
+	for i, name := range sys.VMNames() {
+		if err := sys.RunWorkload(name, suite[i], int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibration measures the full offline collection phase for the
+// 2-type quickstart deployment.
+func BenchmarkCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := New(Config{
+			Machine: Xeon16,
+			VMs: []VMSpec{
+				{Name: "a", Type: Small}, {Name: "b", Type: Medium},
+			},
+			Seed:             int64(i),
+			CalibrationTicks: 60,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Calibrate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAntitheticMC contrasts plain and antithetic sampling cost.
+func BenchmarkAntitheticMC(b *testing.B) {
+	const n = 16
+	worth := func(s vm.Coalition) float64 {
+		size := float64(s.Size())
+		return 13*size - 0.5*size*size
+	}
+	for _, anti := range []bool{false, true} {
+		name := "plain"
+		if anti {
+			name = "antithetic"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.MonteCarlo(n, worth, shapley.MCOptions{
+					Permutations: 128, Antithetic: anti, Seed: int64(i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplayTick measures offline re-estimation throughput.
+func BenchmarkReplayTick(b *testing.B) {
+	sys, err := New(Config{
+		Machine:          Xeon16,
+		VMs:              []VMSpec{{Name: "a", Type: Small}, {Name: "b", Type: Medium}},
+		Seed:             1,
+		MeterNoise:       -1,
+		CalibrationTicks: 60,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Calibrate(); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.RunWorkload("a", "gcc", 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.RunWorkload("b", "omnetpp", 2); err != nil {
+		b.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := sys.StartRecording(&trace); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Run(64, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.StopRecording(); err != nil {
+		b.Fatal(err)
+	}
+	raw := trace.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Replay(bytes.NewReader(raw), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(64, "ticks/op")
+}
+
+// BenchmarkWorkloadGen measures state generation across the suite.
+func BenchmarkWorkloadGen(b *testing.B) {
+	gens := workload.SPECSuite(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range gens {
+			_ = g.StateAt(i)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command experiments regenerates the paper's tables and figures as data.
+//
+// Usage:
+//
+//	experiments [-run id1,id2|all] [-seed N] [-quick] [-csv dir] [-list]
+//
+// Each experiment prints its paper claim, the regenerated rows/series and
+// a metrics line; -csv additionally writes every figure's data table as a
+// CSV file into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vmpower/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runIDs = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		seed   = flag.Int64("seed", 1, "random seed")
+		quick  = flag.Bool("quick", false, "shrink tick counts ~8x for a fast pass")
+		csvDir = flag.String("csv", "", "directory to write figure CSVs into")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		verify = flag.Bool("verify", false, "run the calibration-band verification (DESIGN.md §5) and exit non-zero on failure")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.All() {
+			fmt.Printf("%-12s %s\n", d.ID, d.Title)
+		}
+		return nil
+	}
+
+	if *verify {
+		results, pass, err := experiments.Verify(experiments.Config{Seed: *seed, Quick: *quick})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatVerification(results))
+		if !pass {
+			return fmt.Errorf("verification failed")
+		}
+		fmt.Println("all calibration bands hold")
+		return nil
+	}
+
+	var selected []experiments.Descriptor
+	if *runIDs == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			d, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, d)
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	for _, d := range selected {
+		res, err := d.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.ID, err)
+		}
+		fmt.Println(res.Format())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSVs(dir string, res *experiments.Result) error {
+	if len(res.Tables) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	for name, tbl := range res.Tables {
+		path := filepath.Join(dir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", path, err)
+		}
+		werr := tbl.WriteCSV(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("writing %s: %w", path, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("closing %s: %w", path, cerr)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

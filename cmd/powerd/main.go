@@ -1,0 +1,173 @@
+// Command powerd runs the power-accounting pipeline as a monitoring
+// daemon: it calibrates a simulated deployment, drives the online
+// estimator at a fixed interval, and serves live allocations, history and
+// cumulative per-VM energy over HTTP/JSON.
+//
+// Usage:
+//
+//	powerd [-listen addr] [-vms name:type,...] [-interval dur] [-seed N]
+//
+// Endpoints:
+//
+//	GET /api/v1/status
+//	GET /api/v1/allocation
+//	GET /api/v1/history?n=K
+//	GET /api/v1/energy
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmpower/internal/cliutil"
+	"vmpower/internal/core"
+	"vmpower/internal/hypervisor"
+	"vmpower/internal/machine"
+	"vmpower/internal/meter"
+	"vmpower/internal/powerd"
+	"vmpower/internal/vm"
+	"vmpower/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "powerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7077", "HTTP listen address")
+		vmsFlag   = flag.String("vms", "vm1a:small,vm1b:small,vm2:medium,vm3:large,vm4:xlarge", "comma list of name:type VM specs")
+		interval  = flag.Duration("interval", time.Second, "estimation interval (the paper's prototype samples at 1 Hz)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		history   = flag.Int("history", 600, "allocation history ring size")
+		saveModel = flag.String("save-model", "", "write the calibration model to this file after the offline phase")
+		loadModel = flag.String("load-model", "", "skip the offline phase and load a model written by -save-model")
+	)
+	flag.Parse()
+
+	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
+	if err != nil {
+		return err
+	}
+	parsed, err := cliutil.ParseVMSpecs(*vmsFlag, false)
+	if err != nil {
+		return err
+	}
+	vms := make([]vm.VM, len(parsed))
+	names := make([]string, len(parsed))
+	for i, p := range parsed {
+		vms[i] = vm.VM{Name: p.Name, Type: p.Type}
+		names[i] = p.Name
+	}
+	set, err := vm.NewSet(vm.PaperCatalog(), vms)
+	if err != nil {
+		return err
+	}
+	host, err := hypervisor.NewHost(mach, set)
+	if err != nil {
+		return err
+	}
+	m, err := meter.NewSim(host.PowerSource(), meter.SimOptions{
+		NoiseStdDev: 0.25, Resolution: 0.1, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	est, err := core.New(host, m, core.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *loadModel != "" {
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			return fmt.Errorf("opening model: %w", err)
+		}
+		err = est.LoadModel(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded model from %s; idle power %.1f W\n", *loadModel, est.IdlePower())
+	} else {
+		fmt.Fprintln(os.Stderr, "calibrating...")
+		if err := est.CollectOffline(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "calibrated; idle power %.1f W\n", est.IdlePower())
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			return fmt.Errorf("creating model file: %w", err)
+		}
+		err = est.SaveModel(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved model to %s\n", *saveModel)
+	}
+
+	suite := []string{"gcc", "gobmk", "sjeng", "omnetpp", "namd", "wrf", "tonto"}
+	for i := range vms {
+		gen, err := workload.ByName(suite[i%len(suite)], *seed+int64(i))
+		if err != nil {
+			return err
+		}
+		if err := host.Attach(vm.ID(i), gen); err != nil {
+			return err
+		}
+	}
+	host.SetCoalition(vm.GrandCoalition(set.Len()))
+
+	srv, err := powerd.New(est, names, *history)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "serving on http://%s\n", *listen)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			return httpSrv.Shutdown(shutdownCtx)
+		case err := <-errCh:
+			return err
+		case <-ticker.C:
+			if _, err := srv.Step(); err != nil {
+				shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				_ = httpSrv.Shutdown(shutdownCtx)
+				cancel()
+				return err
+			}
+		}
+	}
+}

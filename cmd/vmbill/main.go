@@ -1,0 +1,153 @@
+// Command vmbill produces per-tenant energy bills from a simulated rental
+// period, contrasting three accounting policies: flat type-based pricing
+// (today's cloud practice), resource-usage-proportional rescaling, and
+// the paper's Shapley value-based power accounting.
+//
+// Usage:
+//
+//	vmbill [-tenants spec,...] [-duration ticks] [-price $/kWh] [-seed N]
+//
+// Each tenant spec is name:type:benchmark, e.g. alice:small:gcc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmpower"
+	"vmpower/internal/cliutil"
+	"vmpower/internal/pricing"
+	"vmpower/internal/vm"
+)
+
+// typeRate is a flat hourly price per VM type, standing in for EC2-style
+// type-based pricing in the comparison column (USD/hour).
+var typeRate = map[vmpower.VMType]float64{
+	vmpower.Small:  0.023,
+	vmpower.Medium: 0.046,
+	vmpower.Large:  0.092,
+	vmpower.XLarge: 0.184,
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vmbill:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		tenants    = flag.String("tenants", "alice:medium:wrf,bob:medium:sjeng,carol:small:gcc", "comma list of name:type:benchmark tenant specs")
+		duration   = flag.Int("duration", 600, "rental period in simulated seconds")
+		price      = flag.Float64("price", 0.10409, "electricity price, USD per kWh")
+		seed       = flag.Int64("seed", 1, "random seed")
+		replayPath = flag.String("replay", "", "bill a recorded trace (from powersim -record) instead of simulating workloads; -tenants must match the trace's VM layout")
+		tou        = flag.Bool("tou", false, "bill under a time-of-use tariff (peak 16-21h at ~2x) instead of the flat -price")
+		startHour  = flag.Int("start-hour", 14, "hour of day the rental period starts (used with -tou)")
+	)
+	flag.Parse()
+
+	type tenant struct {
+		name  string
+		typ   vmpower.VMType
+		bench string
+	}
+	parsed, err := cliutil.ParseVMSpecs(*tenants, true)
+	if err != nil {
+		return err
+	}
+	list := make([]tenant, len(parsed))
+	specs := make([]vmpower.VMSpec, len(parsed))
+	for i, p := range parsed {
+		typ := vmpower.VMType(p.Type)
+		list[i] = tenant{name: p.Name, typ: typ, bench: p.Benchmark}
+		specs[i] = vmpower.VMSpec{Name: p.Name, Type: typ}
+	}
+
+	sys, err := vmpower.New(vmpower.Config{
+		Machine:         vmpower.Xeon16,
+		VMs:             specs,
+		Seed:            *seed,
+		IdleAttribution: "proportional", // bill idle power too (Sec. VIII)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "calibrating...")
+	if err := sys.Calibrate(); err != nil {
+		return err
+	}
+
+	energyWs := make(map[string]float64, len(list))
+	series := make(map[string][]float64, len(list))
+	accumulate := func(a *vmpower.Allocation) bool {
+		for name, watts := range a.Shares() {
+			energyWs[name] += watts
+			series[name] = append(series[name], watts)
+		}
+		return true
+	}
+	ticks := *duration
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			return fmt.Errorf("opening trace: %w", err)
+		}
+		defer f.Close()
+		count := 0
+		if err := sys.Replay(f, func(a *vmpower.Allocation) bool {
+			count++
+			return accumulate(a)
+		}); err != nil {
+			return err
+		}
+		ticks = count
+		fmt.Fprintf(os.Stderr, "billed %d recorded ticks from %s\n", count, *replayPath)
+	} else {
+		for i, tn := range list {
+			if err := sys.RunWorkload(tn.name, tn.bench, *seed+int64(i)); err != nil {
+				return err
+			}
+		}
+		if err := sys.Run(ticks, accumulate); err != nil {
+			return err
+		}
+	}
+
+	if *tou {
+		tariff := pricing.USSummerTOU()
+		fmt.Printf("rental period: %d simulated seconds starting %02d:00; TOU tariff $%.3f peak (%d-%dh) / $%.3f off-peak per kWh\n\n",
+			ticks, *startHour, tariff.PeakPricePerKWh, tariff.PeakStartHour, tariff.PeakEndHour, tariff.OffPeakPricePerKWh)
+		fmt.Printf("%-10s %-8s %-10s %14s %12s %16s\n",
+			"tenant", "type", "workload", "energy (kWh)", "peak share", "TOU bill ($)")
+		for _, tn := range list {
+			bill, peakShare, err := pricing.BillEnergyTOU(tn.name, series[tn.name], tariff, *startHour*3600)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %-8s %-10s %14.6f %11.1f%% %16.6f\n",
+				tn.name, typeName(tn.typ), tn.bench, bill.EnergyKWh, peakShare*100, bill.AmountUSD)
+		}
+		return nil
+	}
+
+	fmt.Printf("rental period: %d simulated seconds; electricity at $%.4f/kWh\n\n", ticks, *price)
+	fmt.Printf("%-10s %-8s %-10s %14s %16s %16s\n",
+		"tenant", "type", "workload", "energy (kWh)", "energy bill ($)", "flat bill ($)")
+	var totalEnergy float64
+	for _, tn := range list {
+		kwh := energyWs[tn.name] / 3.6e6
+		totalEnergy += kwh
+		flat := typeRate[tn.typ] * float64(ticks) / 3600
+		fmt.Printf("%-10s %-8s %-10s %14.6f %16.6f %16.6f\n",
+			tn.name, typeName(tn.typ), tn.bench, kwh, kwh**price, flat)
+	}
+	fmt.Printf("\ntotal attributed energy: %.6f kWh (= metered machine energy; Efficiency)\n", totalEnergy)
+	return nil
+}
+
+func typeName(t vmpower.VMType) string {
+	return cliutil.TypeName(vm.TypeID(t))
+}

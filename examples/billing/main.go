@@ -1,0 +1,65 @@
+// Billing reproduces the paper's Fig. 1 motivation as an end-to-end
+// energy-billing pipeline: two tenants rent the same VM type over the
+// same period, but tenant B's workload keeps the CPU busier. Type-based
+// pricing bills them identically; Shapley-based power accounting reveals
+// that B consumed ~33% more energy and prices accordingly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmpower"
+)
+
+const (
+	pricePerKWh = 0.10409 // 2015 US retail, as in the paper's Table I
+	hours       = 6       // simulated rental period (compressed: 1 tick = 1 s)
+	ticks       = hours * 60
+)
+
+func main() {
+	sys, err := vmpower.New(vmpower.Config{
+		Machine: vmpower.Xeon16,
+		VMs: []vmpower.VMSpec{
+			{Name: "tenantA", Type: vmpower.Medium},
+			{Name: "tenantB", Type: vmpower.Medium},
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Calibrate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Tenant A runs a mostly idle interactive service (wrf's oscillation
+	// stands in for a diurnal load); tenant B runs sustained analytics.
+	if err := sys.RunWorkload("tenantA", "wrf", 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.RunWorkload("tenantB", "sjeng", 2); err != nil {
+		log.Fatal(err)
+	}
+
+	energyWs := map[string]float64{} // watt-seconds per tenant
+	if err := sys.Run(ticks, func(a *vmpower.Allocation) bool {
+		for name, watts := range a.Shares() {
+			energyWs[name] += watts // 1 s per tick
+		}
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("rental period: %d simulated minutes, both tenants on identical %s instances\n\n", ticks/60, "Medium")
+	fmt.Printf("%-10s %14s %14s\n", "tenant", "energy (kWh)", "energy bill")
+	var kwh [2]float64
+	for i, name := range sys.VMNames() {
+		kwh[i] = energyWs[name] / 3.6e6
+		fmt.Printf("%-10s %14.6f %13.6f$\n", name, kwh[i], kwh[i]*pricePerKWh)
+	}
+	fmt.Printf("\ntype-based pricing would bill both tenants identically;\n")
+	fmt.Printf("tenant B actually consumed %.0f%% more energy than tenant A\n", (kwh[1]/kwh[0]-1)*100)
+}

@@ -1,0 +1,3 @@
+module vmpower
+
+go 1.22

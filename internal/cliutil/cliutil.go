@@ -1,0 +1,83 @@
+// Package cliutil holds the small parsing helpers the command-line tools
+// share: VM and tenant spec lists in the name:type[:benchmark] format.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"vmpower/internal/vm"
+)
+
+// TypeByName maps the CLI type names to Table IV catalog IDs.
+var TypeByName = map[string]vm.TypeID{
+	"small":  0,
+	"medium": 1,
+	"large":  2,
+	"xlarge": 3,
+}
+
+// TypeName returns the CLI name of a catalog type ("?" when unknown).
+func TypeName(t vm.TypeID) string {
+	for name, id := range TypeByName {
+		if id == t {
+			return name
+		}
+	}
+	return "?"
+}
+
+// VMSpec is one parsed name:type[:benchmark] entry.
+type VMSpec struct {
+	Name      string
+	Type      vm.TypeID
+	Benchmark string
+}
+
+// ParseVMSpecs parses a comma-separated spec list. Each entry is
+// name:type or, when withBenchmark is set, name:type:benchmark. Names
+// must be unique and non-empty.
+func ParseVMSpecs(list string, withBenchmark bool) ([]VMSpec, error) {
+	fields := 2
+	format := "name:type"
+	if withBenchmark {
+		fields = 3
+		format = "name:type:benchmark"
+	}
+	var out []VMSpec
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(list, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		parts := strings.SplitN(raw, ":", fields)
+		if len(parts) != fields {
+			return nil, fmt.Errorf("cliutil: bad spec %q (want %s)", raw, format)
+		}
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			return nil, fmt.Errorf("cliutil: spec %q has an empty name", raw)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cliutil: duplicate name %q", name)
+		}
+		seen[name] = true
+		typ, ok := TypeByName[strings.TrimSpace(parts[1])]
+		if !ok {
+			return nil, fmt.Errorf("cliutil: unknown VM type %q (want small/medium/large/xlarge)", parts[1])
+		}
+		spec := VMSpec{Name: name, Type: typ}
+		if withBenchmark {
+			spec.Benchmark = strings.TrimSpace(parts[2])
+			if spec.Benchmark == "" {
+				return nil, fmt.Errorf("cliutil: spec %q has an empty benchmark", raw)
+			}
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty spec list")
+	}
+	return out, nil
+}

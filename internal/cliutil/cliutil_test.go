@@ -1,0 +1,71 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseVMSpecs(t *testing.T) {
+	specs, err := ParseVMSpecs("web:small, db:large", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("parsed %d specs", len(specs))
+	}
+	if specs[0].Name != "web" || specs[0].Type != 0 {
+		t.Fatalf("spec[0] = %+v", specs[0])
+	}
+	if specs[1].Name != "db" || specs[1].Type != 2 {
+		t.Fatalf("spec[1] = %+v", specs[1])
+	}
+}
+
+func TestParseVMSpecsWithBenchmark(t *testing.T) {
+	specs, err := ParseVMSpecs("alice:medium:wrf,bob:xlarge:namd", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Benchmark != "wrf" || specs[1].Benchmark != "namd" {
+		t.Fatalf("benchmarks = %q, %q", specs[0].Benchmark, specs[1].Benchmark)
+	}
+	if specs[1].Type != 3 {
+		t.Fatalf("type = %d", specs[1].Type)
+	}
+}
+
+func TestParseVMSpecsErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		input     string
+		benchmark bool
+		wantIn    string
+	}{
+		{name: "missing type", input: "web", wantIn: "bad spec"},
+		{name: "unknown type", input: "web:tiny", wantIn: "unknown VM type"},
+		{name: "duplicate", input: "a:small,a:small", wantIn: "duplicate"},
+		{name: "empty name", input: ":small", wantIn: "empty name"},
+		{name: "empty list", input: " , ", wantIn: "empty spec list"},
+		{name: "missing benchmark", input: "a:small", benchmark: true, wantIn: "bad spec"},
+		{name: "empty benchmark", input: "a:small: ", benchmark: true, wantIn: "empty benchmark"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseVMSpecs(tc.input, tc.benchmark)
+			if err == nil || !strings.Contains(err.Error(), tc.wantIn) {
+				t.Fatalf("want error containing %q, got %v", tc.wantIn, err)
+			}
+		})
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	for name, id := range TypeByName {
+		if got := TypeName(id); got != name {
+			t.Fatalf("TypeName(%d) = %q, want %q", id, got, name)
+		}
+	}
+	if TypeName(99) != "?" {
+		t.Fatal("unknown type must render ?")
+	}
+}

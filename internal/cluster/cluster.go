@@ -1,0 +1,169 @@
+// Package cluster extends the power-accounting game beyond one physical
+// machine — the paper's Sec. VIII "accounting other power consumption"
+// future work. A VM on a compute server may be assigned a logic disk on a
+// shared storage array; by the Additivity axiom its total power is the
+// sum of its Shapley shares in two independent games: the compute game
+// (CPU/memory on the local machine) and the storage game (I/O streams on
+// the array).
+//
+// The storage array's power model is deliberately non-additive —
+// aggregate throughput saturates the array's bandwidth, so a stream's
+// marginal power depends on who else is streaming — which is exactly the
+// interaction structure that makes the Shapley value the right
+// disaggregation rule there too.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"vmpower/internal/shapley"
+	"vmpower/internal/vm"
+)
+
+// Array models a shared disk array's power behaviour. Its dynamic power
+// under per-client I/O intensities io_i ∈ [0, 1] is
+//
+//	P = StreamPower·Σ io_i − SaturationSlope·max(0, Σ io_i − Knee)
+//
+// Below the knee every stream pays full power (seeks, controller work);
+// past it the array is bandwidth-bound and additional load is cheaper —
+// a concave worth function with genuinely interacting players.
+type Array struct {
+	// Name identifies the array.
+	Name string
+	// IdlePower is the array's idle draw in watts (spindles, controller).
+	IdlePower float64
+	// StreamPower is the marginal power of one unit of I/O intensity
+	// below the saturation knee, in watts.
+	StreamPower float64
+	// Knee is the aggregate intensity at which bandwidth saturates.
+	Knee float64
+	// SaturationSlope is the power discount per unit of aggregate
+	// intensity beyond the knee (0 <= slope < StreamPower).
+	SaturationSlope float64
+}
+
+// Validate checks the array model.
+func (a Array) Validate() error {
+	switch {
+	case a.IdlePower < 0:
+		return fmt.Errorf("cluster: array %q has negative idle power", a.Name)
+	case a.StreamPower <= 0:
+		return fmt.Errorf("cluster: array %q has non-positive stream power", a.Name)
+	case a.Knee <= 0:
+		return fmt.Errorf("cluster: array %q has non-positive knee", a.Name)
+	case a.SaturationSlope < 0 || a.SaturationSlope >= a.StreamPower:
+		return fmt.Errorf("cluster: array %q saturation slope %g outside [0, %g)", a.Name, a.SaturationSlope, a.StreamPower)
+	}
+	return nil
+}
+
+// DefaultArray returns a 12-disk array profile: 45 W idle, 6 W per
+// stream, saturating at an aggregate intensity of 2.0.
+func DefaultArray() Array {
+	return Array{Name: "array-12d", IdlePower: 45, StreamPower: 6, Knee: 2, SaturationSlope: 4}
+}
+
+// DynamicPower returns the array's power above idle for the given
+// per-client I/O intensities.
+func (a Array) DynamicPower(ios []float64) (float64, error) {
+	var sum float64
+	for i, io := range ios {
+		if io < 0 || io > 1 {
+			return 0, fmt.Errorf("cluster: client %d intensity %g outside [0,1]", i, io)
+		}
+		sum += io
+	}
+	p := a.StreamPower * sum
+	if sum > a.Knee {
+		p -= a.SaturationSlope * (sum - a.Knee)
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p, nil
+}
+
+// StorageGame builds the storage game's worth function over n clients
+// with fixed I/O intensities: v(S) is the array's dynamic power when
+// exactly the members of S stream.
+func (a Array) StorageGame(ios []float64) (shapley.WorthFunc, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	for i, io := range ios {
+		if io < 0 || io > 1 {
+			return nil, fmt.Errorf("cluster: client %d intensity %g outside [0,1]", i, io)
+		}
+	}
+	intensities := append([]float64(nil), ios...)
+	return func(s vm.Coalition) float64 {
+		var sum float64
+		for _, id := range s.Members() {
+			sum += intensities[int(id)]
+		}
+		p := a.StreamPower * sum
+		if sum > a.Knee {
+			p -= a.SaturationSlope * (sum - a.Knee)
+		}
+		if p < 0 {
+			p = 0
+		}
+		return p
+	}, nil
+}
+
+// Attribution is a per-VM two-part power account.
+type Attribution struct {
+	// Compute is the VM's Shapley share of the compute machine's power.
+	Compute []float64
+	// Storage is the VM's Shapley share of the array's power (zero for
+	// VMs with no remote disk).
+	Storage []float64
+}
+
+// Total returns VM i's combined power — the Additivity axiom's sum of
+// the two games' payoffs.
+func (at *Attribution) Total(i vm.ID) float64 {
+	return at.Compute[int(i)] + at.Storage[int(i)]
+}
+
+// Account computes the two-game attribution for n VMs: computeWorth is
+// the compute game (from the machine's estimator or a ground-truth
+// oracle) and storageIOs gives each VM's remote-I/O intensity (0 for VMs
+// without a remote disk — the Dummy axiom then guarantees a zero storage
+// share). Both games are solved exactly.
+func Account(n int, computeWorth shapley.WorthFunc, array Array, storageIOs []float64) (*Attribution, error) {
+	if computeWorth == nil {
+		return nil, errors.New("cluster: nil compute worth")
+	}
+	if len(storageIOs) != n {
+		return nil, fmt.Errorf("cluster: %d I/O intensities for %d VMs", len(storageIOs), n)
+	}
+	computePhi, err := shapley.Exact(n, computeWorth)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: compute game: %w", err)
+	}
+	storageWorth, err := array.StorageGame(storageIOs)
+	if err != nil {
+		return nil, err
+	}
+	storagePhi, err := shapley.Exact(n, storageWorth)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: storage game: %w", err)
+	}
+	return &Attribution{Compute: computePhi, Storage: storagePhi}, nil
+}
+
+// VerifyAdditivity checks the axiom numerically for the two games: the
+// Shapley value of the combined game v(S) = v_c(S) + v_s(S) must equal
+// the sum of the per-game values within tol. It returns the maximum
+// per-VM deviation.
+func VerifyAdditivity(n int, computeWorth shapley.WorthFunc, array Array, storageIOs []float64, tol float64) (float64, error) {
+	storageWorth, err := array.StorageGame(storageIOs)
+	if err != nil {
+		return 0, err
+	}
+	return shapley.CheckAdditivity(n, computeWorth, storageWorth, tol)
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vmpower/internal/vm"
+)
+
+func TestArrayValidate(t *testing.T) {
+	if err := DefaultArray().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Array{
+		{IdlePower: -1, StreamPower: 1, Knee: 1},
+		{StreamPower: 0, Knee: 1},
+		{StreamPower: 1, Knee: 0},
+		{StreamPower: 1, Knee: 1, SaturationSlope: 1},
+		{StreamPower: 1, Knee: 1, SaturationSlope: -0.1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Fatalf("array %d: want validation error", i)
+		}
+	}
+}
+
+func TestDynamicPower(t *testing.T) {
+	a := DefaultArray() // 6 W/stream, knee 2, slope 4
+	tests := []struct {
+		name string
+		ios  []float64
+		want float64
+	}{
+		{name: "no clients", ios: nil, want: 0},
+		{name: "one stream", ios: []float64{1}, want: 6},
+		{name: "two streams at knee", ios: []float64{1, 1}, want: 12},
+		{name: "three streams saturated", ios: []float64{1, 1, 1}, want: 18 - 4},
+		{name: "fractional", ios: []float64{0.5, 0.25}, want: 4.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := a.DynamicPower(tt.ios)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("DynamicPower = %g, want %g", got, tt.want)
+			}
+		})
+	}
+	if _, err := a.DynamicPower([]float64{1.5}); err == nil {
+		t.Fatal("want intensity range error")
+	}
+}
+
+func TestStorageGameMatchesDynamicPower(t *testing.T) {
+	a := DefaultArray()
+	ios := []float64{1, 0.8, 0.6}
+	worth, err := a.StorageGame(ios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grand, err := a.DynamicPower(ios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := worth(vm.GrandCoalition(3)); math.Abs(got-grand) > 1e-12 {
+		t.Fatalf("grand worth = %g, want %g", got, grand)
+	}
+	if got := worth(vm.EmptyCoalition); got != 0 {
+		t.Fatalf("empty worth = %g", got)
+	}
+	// The worth function must capture the original slice, not alias it.
+	ios[0] = 0
+	if got := worth(vm.CoalitionOf(0)); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("worth aliases caller slice: %g", got)
+	}
+}
+
+func TestAccountTwoGames(t *testing.T) {
+	// Three VMs: all compute; only 0 and 1 have remote disks.
+	compute := func(s vm.Coalition) float64 { return 10 * float64(s.Size()) }
+	a := DefaultArray()
+	ios := []float64{1, 1, 0}
+	att, err := Account(3, compute, a, ios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dummy in the storage game: VM2 streams nothing.
+	if att.Storage[2] != 0 {
+		t.Fatalf("diskless VM storage share = %g", att.Storage[2])
+	}
+	// Symmetric streamers split the array power.
+	if math.Abs(att.Storage[0]-att.Storage[1]) > 1e-12 {
+		t.Fatalf("streamers got %g and %g", att.Storage[0], att.Storage[1])
+	}
+	arrayPower, err := a.DynamicPower(ios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(att.Storage[0]+att.Storage[1]-arrayPower) > 1e-9 {
+		t.Fatal("storage shares must sum to the array power")
+	}
+	// Totals are the additive two-game sum.
+	if got := att.Total(0); math.Abs(got-(10+att.Storage[0])) > 1e-9 {
+		t.Fatalf("Total(0) = %g", got)
+	}
+	if got := att.Total(2); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Total(2) = %g", got)
+	}
+}
+
+func TestAccountValidation(t *testing.T) {
+	if _, err := Account(2, nil, DefaultArray(), []float64{0, 0}); err == nil {
+		t.Fatal("want nil-worth error")
+	}
+	worth := func(vm.Coalition) float64 { return 0 }
+	if _, err := Account(2, worth, DefaultArray(), []float64{0}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := Account(2, worth, DefaultArray(), []float64{0, 2}); err == nil {
+		t.Fatal("want intensity error")
+	}
+}
+
+func TestVerifyAdditivity(t *testing.T) {
+	compute := func(s vm.Coalition) float64 {
+		size := float64(s.Size())
+		return 13*size - 3*size*(size-1)/2 // concave compute game
+	}
+	dev, err := VerifyAdditivity(4, compute, DefaultArray(), []float64{1, 0.7, 0.9, 0}, 1e-9)
+	if err != nil {
+		t.Fatalf("additivity must hold: %v (dev %g)", err, dev)
+	}
+	if dev > 1e-9 {
+		t.Fatalf("deviation = %g", dev)
+	}
+}
+
+// Property: saturation makes late joiners cheaper, so every storage
+// share is at most StreamPower·io_i, and shares are always non-negative
+// and efficient.
+func TestStorageShapleyProperty(t *testing.T) {
+	a := DefaultArray()
+	f := func(r1, r2, r3, r4 float64) bool {
+		clip := func(x float64) float64 {
+			x = math.Abs(math.Mod(x, 1))
+			if math.IsNaN(x) {
+				return 0
+			}
+			return x
+		}
+		ios := []float64{clip(r1), clip(r2), clip(r3), clip(r4)}
+		att, err := Account(4, func(vm.Coalition) float64 { return 0 }, a, ios)
+		if err != nil {
+			return false
+		}
+		total, err := a.DynamicPower(ios)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for i, share := range att.Storage {
+			if share < -1e-9 {
+				return false
+			}
+			if share > a.StreamPower*ios[i]+1e-9 {
+				return false
+			}
+			sum += share
+		}
+		return math.Abs(sum-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

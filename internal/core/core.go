@@ -1,0 +1,561 @@
+// Package core implements the paper's Shapley value-based power
+// estimation framework (Sec. VI, Fig. 8). An Estimator couples a
+// hypervisor host, a power meter and a VHC approximator through the two
+// phases of the paper's pipeline:
+//
+//   - Offline data collecting: traverse the 2^r VHC combinations under the
+//     synthetic random-CPU workload, record (state, power) samples in the
+//     v(S,C) table and fit the per-combination mapping vectors.
+//   - Online real-time estimation: each 1 Hz tick, take the collected VM
+//     states and the measured machine power, build the coalition worth
+//     function (measured power for the grand coalition — so Efficiency
+//     always holds against the meter — and VHC approximations for proper
+//     subsets), and run the (non-deterministic) Shapley value to
+//     disaggregate power to individual VMs.
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"vmpower/internal/hypervisor"
+	"vmpower/internal/meter"
+	"vmpower/internal/shapley"
+	"vmpower/internal/vhc"
+	"vmpower/internal/vm"
+	"vmpower/internal/workload"
+)
+
+// IdleAttribution selects how the machine's idle power is attributed to
+// VMs on top of the Shapley shares. The paper leaves this open (Sec. VIII)
+// and names the two candidate rules we implement.
+type IdleAttribution int
+
+const (
+	// IdleNone reports dynamic power only (the paper's evaluation mode).
+	IdleNone IdleAttribution = iota
+	// IdleEqual splits the idle power equally across running VMs.
+	IdleEqual
+	// IdleProportional splits the idle power proportionally to the VMs'
+	// dynamic Shapley shares.
+	IdleProportional
+)
+
+// String names the attribution rule.
+func (a IdleAttribution) String() string {
+	switch a {
+	case IdleNone:
+		return "none"
+	case IdleEqual:
+		return "equal"
+	case IdleProportional:
+		return "proportional"
+	default:
+		return fmt.Sprintf("attribution(%d)", int(a))
+	}
+}
+
+// Config tunes an Estimator. The zero value gives the paper's settings.
+type Config struct {
+	// OfflineTicksPerCombo is the number of 1 Hz samples collected per
+	// VHC combination during offline collection. Default 200.
+	OfflineTicksPerCombo int
+	// IdleMeasureTicks is the number of samples averaged to establish the
+	// idle power before collection. Default 30.
+	IdleMeasureTicks int
+	// Seed drives the synthetic collection workloads and the Monte-Carlo
+	// sampler.
+	Seed int64
+	// ExactMaxPlayers is the largest VM count estimated with exact 2^n
+	// Shapley; larger sets use Monte-Carlo sampling. Default 16 (the
+	// paper's practical bound).
+	ExactMaxPlayers int
+	// MCPermutations is the Monte-Carlo sample count beyond
+	// ExactMaxPlayers. Default shapley.DefaultPermutations.
+	MCPermutations int
+	// IdleAttribution selects the idle-power rule. Default IdleNone.
+	IdleAttribution IdleAttribution
+	// CollectIdleProb is the probability each VM idles on a collection
+	// tick. The paper's collection keeps members busy (0); a small value
+	// trades full-coalition accuracy for sub-coalition coverage (see the
+	// trainsize/resolution ablations for the corresponding sweeps).
+	CollectIdleProb float64
+	// Classes optionally compresses an arbitrary type catalog into a
+	// small number of VHC classes (Sec. VIII's "applicable scenario"
+	// extension; build one with vhc.ClusterTypes). Nil uses the identity
+	// map — one VHC per catalog type, the paper's base setting.
+	Classes *vhc.ClassMap
+	// RidgeLambda is passed to the VHC approximator. Default 1e-6.
+	RidgeLambda float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.OfflineTicksPerCombo <= 0 {
+		c.OfflineTicksPerCombo = 200
+	}
+	if c.IdleMeasureTicks <= 0 {
+		c.IdleMeasureTicks = 30
+	}
+	if c.ExactMaxPlayers <= 0 {
+		c.ExactMaxPlayers = 16
+	}
+	if c.MCPermutations <= 0 {
+		c.MCPermutations = shapley.DefaultPermutations
+	}
+	return c
+}
+
+// Allocation is one tick's per-VM power disaggregation.
+type Allocation struct {
+	// Tick is the host clock when the states were collected.
+	Tick int
+	// Coalition is the running VM set.
+	Coalition vm.Coalition
+	// MeasuredPower is the meter reading (total wall power, W).
+	MeasuredPower float64
+	// DynamicPower is MeasuredPower minus the idle power (clamped at 0):
+	// v(N, C'), the quantity Shapley disaggregates.
+	DynamicPower float64
+	// PerVM is each VM's dynamic power share (Φ_i), indexed by vm.ID.
+	// Stopped VMs are dummies and get exactly 0.
+	PerVM []float64
+	// IdlePerVM is each VM's idle-power share under the configured
+	// attribution rule (nil for IdleNone).
+	IdlePerVM []float64
+	// Method records how the Shapley value was computed ("exact" or
+	// "montecarlo").
+	Method string
+}
+
+// Total returns VM id's total attributed power (dynamic + idle share).
+func (a *Allocation) Total(id vm.ID) float64 {
+	t := a.PerVM[int(id)]
+	if a.IdlePerVM != nil {
+		t += a.IdlePerVM[int(id)]
+	}
+	return t
+}
+
+// Estimator is the framework of Fig. 8.
+type Estimator struct {
+	host    *hypervisor.Host
+	m       meter.Meter
+	approx  *vhc.Approximator
+	classes *vhc.ClassMap
+	cfg     Config
+
+	idlePower float64
+	trained   bool
+}
+
+// New builds an Estimator over a host and a meter.
+func New(host *hypervisor.Host, m meter.Meter, cfg Config) (*Estimator, error) {
+	if host == nil {
+		return nil, errors.New("core: nil host")
+	}
+	if m == nil {
+		return nil, errors.New("core: nil meter")
+	}
+	cfg = cfg.withDefaults()
+	classes := cfg.Classes
+	if classes == nil {
+		var err error
+		classes, err = vhc.IdentityClassMap(len(host.Set().Catalog()))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if err := classes.Validate(); err != nil {
+			return nil, err
+		}
+		if len(classes.ByType) < len(host.Set().Catalog()) {
+			return nil, fmt.Errorf("core: class map covers %d of %d catalog types",
+				len(classes.ByType), len(host.Set().Catalog()))
+		}
+	}
+	approx, err := vhc.New(classes.Classes, vhc.Options{
+		Resolution:  host.Resolution(),
+		RidgeLambda: cfg.RidgeLambda,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{host: host, m: m, approx: approx, classes: classes, cfg: cfg}, nil
+}
+
+// Host returns the underlying host.
+func (e *Estimator) Host() *hypervisor.Host { return e.host }
+
+// Approximator exposes the trained VHC approximator.
+func (e *Estimator) Approximator() *vhc.Approximator { return e.approx }
+
+// IdlePower returns the idle power established during offline collection.
+func (e *Estimator) IdlePower() float64 { return e.idlePower }
+
+// Trained reports whether offline collection has completed.
+func (e *Estimator) Trained() bool { return e.trained }
+
+// sampleMeter reads the meter, retrying past dropouts (a real 1 Hz meter
+// occasionally misses a reading; the paper's pipeline just waits for the
+// next one). It fails after maxDropouts consecutive losses.
+func (e *Estimator) sampleMeter() (meter.Sample, error) {
+	const maxDropouts = 32
+	for i := 0; i < maxDropouts; i++ {
+		s, err := e.m.Sample()
+		if err == nil {
+			return s, nil
+		}
+		if !errors.Is(err, meter.ErrDropout) {
+			return meter.Sample{}, err
+		}
+	}
+	return meter.Sample{}, fmt.Errorf("core: %d consecutive meter dropouts", maxDropouts)
+}
+
+// CollectOffline runs the offline data-collecting phase: it measures the
+// idle power, then runs every non-empty VHC combination under the
+// synthetic workload for OfflineTicksPerCombo ticks, recording samples and
+// fitting the mapping vectors. The host's running set, workload bindings
+// and clock are modified; all VMs are stopped on return.
+func (e *Estimator) CollectOffline() error {
+	set := e.host.Set()
+
+	// Establish the idle power (Remark 1: stable when no VM runs).
+	e.host.SetCoalition(vm.EmptyCoalition)
+	var idleSum float64
+	for i := 0; i < e.cfg.IdleMeasureTicks; i++ {
+		e.host.Advance(1)
+		s, err := e.sampleMeter()
+		if err != nil {
+			return fmt.Errorf("core: measuring idle power: %w", err)
+		}
+		idleSum += s.Power
+	}
+	e.idlePower = idleSum / float64(e.cfg.IdleMeasureTicks)
+
+	// Attach decorrelated synthetic workloads to every VM. CollectIdleProb
+	// optionally lets VMs idle some ticks so the samples also cover
+	// partially active VHCs (sub-coalition-like states); the default of 0
+	// matches the paper's collection, which keeps every coalition member
+	// busy and fits the all-active regime the evaluation validates.
+	for i := 0; i < set.Len(); i++ {
+		g := workload.Synthetic{Seed: e.cfg.Seed + int64(i)*104729, IdleProb: e.cfg.CollectIdleProb}
+		if err := e.host.Attach(vm.ID(i), g); err != nil {
+			return err
+		}
+	}
+
+	// Traverse the 2^r − 1 non-empty VHC (class) combinations.
+	numCombos := vhc.ComboMask(1) << uint(e.approx.NumTypes())
+	for combo := vhc.ComboMask(1); combo < numCombos; combo++ {
+		mask, err := e.coalitionForCombo(set, combo)
+		if err != nil {
+			return err
+		}
+		if mask.IsEmpty() {
+			continue // no VM of these classes on this host
+		}
+		e.host.SetCoalition(mask)
+		for t := 0; t < e.cfg.OfflineTicksPerCombo; t++ {
+			e.host.Advance(1)
+			snap := e.host.Collect()
+			s, err := e.sampleMeter()
+			if err != nil {
+				return fmt.Errorf("core: collecting combo %s: %w", combo, err)
+			}
+			dyn := s.Power - e.idlePower
+			if dyn < 0 {
+				dyn = 0
+			}
+			got, features, err := vhc.ClassedFeaturesFor(set, snap.Coalition, snap.States, e.classes)
+			if err != nil {
+				return err
+			}
+			if err := e.approx.AddSample(got, features, dyn); err != nil {
+				return err
+			}
+		}
+	}
+	e.host.SetCoalition(vm.EmptyCoalition)
+
+	if err := e.approx.Train(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	e.trained = true
+	return nil
+}
+
+// coalitionForCombo returns all VMs whose class belongs to the combo.
+func (e *Estimator) coalitionForCombo(set *vm.Set, combo vhc.ComboMask) (vm.Coalition, error) {
+	var mask vm.Coalition
+	for i := 0; i < set.Len(); i++ {
+		v, err := set.VM(vm.ID(i))
+		if err != nil {
+			return 0, err
+		}
+		class := vm.TypeID(e.classes.ByType[v.Type])
+		if combo.Contains(class) {
+			mask = mask.With(vm.ID(i))
+		}
+	}
+	return mask, nil
+}
+
+// ErrUntrained is returned by online estimation before CollectOffline.
+var ErrUntrained = errors.New("core: estimator not trained (run CollectOffline first)")
+
+// savedModel wraps the approximator model with the estimator-level state
+// a reload needs.
+type savedModel struct {
+	IdlePower float64         `json:"idle_power"`
+	Model     json.RawMessage `json:"model"`
+}
+
+// SaveModel persists the calibration (idle power + fitted mapping
+// vectors) as JSON, so the expensive offline phase runs once and later
+// processes reload it with LoadModel. The exact-match v(S,C) table is
+// session state and is not persisted.
+func (e *Estimator) SaveModel(w io.Writer) error {
+	if !e.trained {
+		return ErrUntrained
+	}
+	var buf bytes.Buffer
+	if err := e.approx.Export(&buf); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(savedModel{IdlePower: e.idlePower, Model: buf.Bytes()}); err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel restores a calibration written by SaveModel. The estimator's
+// host must have the same catalog/class layout the model was trained on.
+func (e *Estimator) LoadModel(r io.Reader) error {
+	var saved savedModel
+	if err := json.NewDecoder(r).Decode(&saved); err != nil {
+		return fmt.Errorf("core: load model: %w", err)
+	}
+	if saved.IdlePower < 0 {
+		return fmt.Errorf("core: load model: negative idle power %g", saved.IdlePower)
+	}
+	if err := e.approx.Import(bytes.NewReader(saved.Model)); err != nil {
+		return err
+	}
+	e.idlePower = saved.IdlePower
+	e.trained = true
+	return nil
+}
+
+// EstimateTick performs one online estimation step: collect the current
+// states, sample the meter, and disaggregate.
+func (e *Estimator) EstimateTick() (*Allocation, error) {
+	snap := e.host.Collect()
+	s, err := e.sampleMeter()
+	if err != nil {
+		return nil, err
+	}
+	return e.Estimate(snap, s.Power)
+}
+
+// Estimate disaggregates a measured total power across the snapshot's
+// running VMs with the non-deterministic Shapley value. The grand
+// coalition's worth is the measured (idle-deducted) power, so the
+// allocation is always efficient against the meter; proper subsets use the
+// VHC approximation.
+func (e *Estimator) Estimate(snap hypervisor.Snapshot, measuredTotal float64) (*Allocation, error) {
+	if !e.trained {
+		return nil, ErrUntrained
+	}
+	set := e.host.Set()
+	n := set.Len()
+	dyn := measuredTotal - e.idlePower
+	if dyn < 0 {
+		dyn = 0
+	}
+	running := snap.Coalition
+
+	alloc := &Allocation{
+		Tick:          snap.Tick,
+		Coalition:     running,
+		MeasuredPower: measuredTotal,
+		DynamicPower:  dyn,
+		PerVM:         make([]float64, n),
+	}
+	if running.IsEmpty() {
+		alloc.Method = "exact"
+		return e.attributeIdle(alloc), nil
+	}
+
+	worth, worthErr := e.buildWorth(snap, dyn)
+
+	var phi []float64
+	var err error
+	if n <= e.cfg.ExactMaxPlayers {
+		alloc.Method = "exact"
+		phi, err = shapley.Exact(n, worth)
+	} else {
+		alloc.Method = "montecarlo"
+		var res *shapley.MCResult
+		res, err = shapley.MonteCarlo(n, worth, shapley.MCOptions{
+			Permutations: e.cfg.MCPermutations,
+			Seed:         e.cfg.Seed ^ int64(snap.Tick),
+		})
+		if res != nil {
+			phi = res.Phi
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if *worthErr != nil {
+		return nil, fmt.Errorf("core: worth evaluation: %w", *worthErr)
+	}
+	alloc.PerVM = phi
+	return e.attributeIdle(alloc), nil
+}
+
+// buildWorth constructs the online coalition worth function for a
+// snapshot: the measured (idle-deducted) power for the running grand
+// coalition, 0 for the empty set, and the VHC approximation for proper
+// subsets; stopped VMs are dummies. The returned error pointer captures
+// the first evaluation failure (Shapley evaluates worths inside tight
+// loops that cannot return errors).
+func (e *Estimator) buildWorth(snap hypervisor.Snapshot, dyn float64) (shapley.WorthFunc, *error) {
+	set := e.host.Set()
+	running := snap.Coalition
+	worthErr := new(error)
+	worth := func(s vm.Coalition) float64 {
+		s &= running // stopped VMs are dummies
+		if s == running {
+			return dyn
+		}
+		if s.IsEmpty() {
+			return 0
+		}
+		combo, features, err := vhc.ClassedFeaturesFor(set, s, snap.States, e.classes)
+		if err != nil {
+			if *worthErr == nil {
+				*worthErr = err
+			}
+			return 0
+		}
+		p, err := e.approx.Estimate(combo, features)
+		if err != nil {
+			if *worthErr == nil {
+				*worthErr = err
+			}
+			return 0
+		}
+		return p
+	}
+	return worth, worthErr
+}
+
+// Interactions computes the pairwise Shapley interaction index of the
+// approximated game at a snapshot: entry (i, j) is the watts the pair
+// jointly "saves" (negative) or "costs" (positive) relative to their
+// separate contributions — live interference monitoring from the same
+// worths the estimator allocates with. Stopped VMs are dummies with zero
+// interactions.
+func (e *Estimator) Interactions(snap hypervisor.Snapshot, measuredTotal float64) ([][]float64, error) {
+	if !e.trained {
+		return nil, ErrUntrained
+	}
+	dyn := measuredTotal - e.idlePower
+	if dyn < 0 {
+		dyn = 0
+	}
+	n := e.host.Set().Len()
+	worth, worthErr := e.buildWorth(snap, dyn)
+	idx, err := shapley.Interactions(n, worth)
+	if err != nil {
+		return nil, err
+	}
+	if *worthErr != nil {
+		return nil, fmt.Errorf("core: interaction worth evaluation: %w", *worthErr)
+	}
+	return idx, nil
+}
+
+// Audit verifies the Shapley axioms of the allocation the estimator
+// produces for a snapshot, against the approximated game it was computed
+// from: Efficiency holds by construction; Symmetry and Dummy can be
+// violated only through v(S,C) approximation error, so the report
+// quantifies how much game structure the VHC approximation preserves.
+// tol is the axiom tolerance in watts.
+func (e *Estimator) Audit(snap hypervisor.Snapshot, measuredTotal, tol float64) (*shapley.AxiomReport, *Allocation, error) {
+	alloc, err := e.Estimate(snap, measuredTotal)
+	if err != nil {
+		return nil, nil, err
+	}
+	worth, worthErr := e.buildWorth(snap, alloc.DynamicPower)
+	report, err := shapley.CheckAxioms(e.host.Set().Len(), worth, alloc.PerVM, tol)
+	if err != nil {
+		return nil, nil, err
+	}
+	if *worthErr != nil {
+		return nil, nil, fmt.Errorf("core: audit worth evaluation: %w", *worthErr)
+	}
+	return report, alloc, nil
+}
+
+// attributeIdle fills IdlePerVM per the configured rule.
+func (e *Estimator) attributeIdle(alloc *Allocation) *Allocation {
+	switch e.cfg.IdleAttribution {
+	case IdleEqual:
+		alloc.IdlePerVM = make([]float64, len(alloc.PerVM))
+		members := alloc.Coalition.Members()
+		if len(members) == 0 {
+			return alloc
+		}
+		share := e.idlePower / float64(len(members))
+		for _, id := range members {
+			alloc.IdlePerVM[int(id)] = share
+		}
+	case IdleProportional:
+		alloc.IdlePerVM = make([]float64, len(alloc.PerVM))
+		var sum float64
+		for _, p := range alloc.PerVM {
+			sum += p
+		}
+		if sum <= 0 {
+			// Degenerate to equal shares when nothing draws power.
+			members := alloc.Coalition.Members()
+			if len(members) == 0 {
+				return alloc
+			}
+			share := e.idlePower / float64(len(members))
+			for _, id := range members {
+				alloc.IdlePerVM[int(id)] = share
+			}
+			return alloc
+		}
+		for i, p := range alloc.PerVM {
+			alloc.IdlePerVM[i] = e.idlePower * p / sum
+		}
+	}
+	return alloc
+}
+
+// Run advances the host clock and estimates for the given number of ticks,
+// invoking fn with each allocation. It stops at the first error or when fn
+// returns false.
+func (e *Estimator) Run(ticks int, fn func(*Allocation) bool) error {
+	for i := 0; i < ticks; i++ {
+		e.host.Advance(1)
+		alloc, err := e.EstimateTick()
+		if err != nil {
+			return err
+		}
+		if fn != nil && !fn(alloc) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"vmpower/internal/vm"
+	"vmpower/internal/workload"
+)
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	host, est := testRig(t, Config{Seed: 21})
+	if err := est.CollectOffline(); err != nil {
+		t.Fatal(err)
+	}
+	var model bytes.Buffer
+	if err := est.SaveModel(&model); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh estimator over an identical host loads the model and
+	// estimates without ever calibrating.
+	host2, est2 := testRig(t, Config{Seed: 21})
+	if err := est2.LoadModel(bytes.NewReader(model.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !est2.Trained() {
+		t.Fatal("loaded estimator must be trained")
+	}
+	if math.Abs(est2.IdlePower()-est.IdlePower()) > 1e-12 {
+		t.Fatalf("idle power %g vs %g", est2.IdlePower(), est.IdlePower())
+	}
+
+	// Identical snapshots produce near-identical allocations. (The saved
+	// model drops the exact-match table, so ticks that would have hit it
+	// can differ slightly; compare on a fresh state the table never saw.)
+	for _, h := range []*hostEst{{host, est}, {host2, est2}} {
+		if err := h.host.Attach(0, workload.FloatPoint()); err != nil {
+			t.Fatal(err)
+		}
+		h.host.SetCoalition(vm.CoalitionOf(0, 2))
+		if err := h.host.Attach(2, workload.Constant("c", vm.State{vm.CPU: 0.63})); err != nil {
+			t.Fatal(err)
+		}
+		h.host.Advance(1)
+	}
+	snap1 := host.Collect()
+	power1, err := host.TruePower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := est.Estimate(snap1, power1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := host2.Collect()
+	power2, err := host2.TruePower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := est2.Estimate(snap2, power2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.PerVM {
+		if math.Abs(a1.PerVM[i]-a2.PerVM[i]) > 0.5 {
+			t.Fatalf("vm %d: %g vs %g", i, a1.PerVM[i], a2.PerVM[i])
+		}
+	}
+}
+
+type hostEst struct {
+	host interface {
+		Attach(vm.ID, workload.Generator) error
+		SetCoalition(vm.Coalition)
+		Advance(int)
+	}
+	est *Estimator
+}
+
+func TestSaveModelUntrained(t *testing.T) {
+	_, est := testRig(t, Config{})
+	if err := est.SaveModel(&bytes.Buffer{}); !errors.Is(err, ErrUntrained) {
+		t.Fatalf("want ErrUntrained, got %v", err)
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	_, est := testRig(t, Config{})
+	if err := est.LoadModel(strings.NewReader("garbage")); err == nil {
+		t.Fatal("want decode error")
+	}
+	if err := est.LoadModel(strings.NewReader(`{"idle_power":-5,"model":{}}`)); err == nil {
+		t.Fatal("want negative-idle error")
+	}
+	if err := est.LoadModel(strings.NewReader(`{"idle_power":100,"model":{"version":1,"num_types":9,"combos":[]}}`)); err == nil {
+		t.Fatal("want model-mismatch error")
+	}
+	if est.Trained() {
+		t.Fatal("failed loads must not mark the estimator trained")
+	}
+}

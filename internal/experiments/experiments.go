@@ -1,0 +1,225 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation plus the ablations DESIGN.md calls out. Each experiment is a
+// pure function of a Config returning a structured Result that
+// cmd/experiments renders, tests assert on, and the root bench harness
+// times. The per-experiment index lives in DESIGN.md §4.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vmpower/internal/hypervisor"
+	"vmpower/internal/machine"
+	"vmpower/internal/meter"
+	"vmpower/internal/trace"
+	"vmpower/internal/vm"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives all randomness (workloads, meter noise, Monte Carlo).
+	Seed int64
+	// Quick shrinks tick counts by ~8x so the full suite runs in seconds
+	// (used by tests); headline numbers use the full durations.
+	Quick bool
+}
+
+// scale shrinks a tick count in Quick mode, keeping a sane floor.
+func (c Config) scale(ticks int) int {
+	if !c.Quick {
+		return ticks
+	}
+	s := ticks / 8
+	if s < 20 {
+		s = 20
+	}
+	return s
+}
+
+// Result is a structured experiment outcome.
+type Result struct {
+	// ID and Title identify the experiment ("fig4", "Fig. 4 — ...").
+	ID    string
+	Title string
+	// PaperClaim states what the paper reports for this artifact.
+	PaperClaim string
+	// Lines is the formatted body (tables, rows, series summaries).
+	Lines []string
+	// Values exposes the key metrics by name for tests and EXPERIMENTS.md.
+	Values map[string]float64
+	// Tables holds the regenerated figure data keyed by name, for CSV
+	// export.
+	Tables map[string]*trace.Table
+}
+
+// Printf appends a formatted line to the result body.
+func (r *Result) Printf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Set records a named metric.
+func (r *Result) Set(name string, v float64) {
+	if r.Values == nil {
+		r.Values = make(map[string]float64)
+	}
+	r.Values[name] = v
+}
+
+// AddTable attaches a named data table.
+func (r *Result) AddTable(name string, t *trace.Table) {
+	if r.Tables == nil {
+		r.Tables = make(map[string]*trace.Table)
+	}
+	r.Tables[name] = t
+}
+
+// Format renders the result as text.
+func (r *Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&sb, "paper: %s\n", r.PaperClaim)
+	}
+	for _, l := range r.Lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	if len(r.Values) > 0 {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%.6g", k, r.Values[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Runner executes one experiment.
+type Runner func(Config) (*Result, error)
+
+// Descriptor registers an experiment.
+type Descriptor struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+var (
+	registryMu sync.Mutex
+	registry   []Descriptor
+)
+
+// register adds an experiment (called from init in each experiment file).
+func register(d Descriptor) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry = append(registry, d)
+}
+
+// All returns every registered experiment in registration order.
+func All() []Descriptor {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]Descriptor, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Descriptor, error) {
+	for _, d := range All() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Descriptor{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// ---- shared fixtures ----
+
+// twoCVMHost builds the Sec. III demo: two identical 1-vCPU VMs (C_VM and
+// C_VM') on the given profile with Pack scheduling.
+func twoCVMHost(prof machine.Profile) (*hypervisor.Host, error) {
+	mach, err := machine.New(prof, machine.Pack)
+	if err != nil {
+		return nil, err
+	}
+	catalog := vm.Catalog{{ID: 0, Name: "C_VM_type", VCPUs: 1, MemoryGB: 1, DiskGB: 8}}
+	set, err := vm.NewSet(catalog, []vm.VM{
+		{Name: "C_VM", Type: 0},
+		{Name: "C_VM'", Type: 0},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hypervisor.NewHost(mach, set)
+}
+
+// paperHost builds the Sec. VII evaluation host: the Xeon prototype with
+// the 5-VM mix (2×VM1, VM2, VM3, VM4) over the Table IV catalog.
+func paperHost() (*hypervisor.Host, error) {
+	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
+	if err != nil {
+		return nil, err
+	}
+	set, err := vm.NewSet(vm.PaperCatalog(), []vm.VM{
+		{Name: "VM1a", Type: 0},
+		{Name: "VM1b", Type: 0},
+		{Name: "VM2", Type: 1},
+		{Name: "VM3", Type: 2},
+		{Name: "VM4", Type: 3},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hypervisor.NewHost(mach, set)
+}
+
+// homogeneousHost builds Fig. 10(a)'s coalition: four VM1-type VMs.
+func homogeneousHost() (*hypervisor.Host, error) {
+	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
+	if err != nil {
+		return nil, err
+	}
+	set, err := vm.NewSet(vm.PaperCatalog(), []vm.VM{
+		{Name: "VM1a", Type: 0}, {Name: "VM1b", Type: 0},
+		{Name: "VM1c", Type: 0}, {Name: "VM1d", Type: 0},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hypervisor.NewHost(mach, set)
+}
+
+// heterogeneousHost builds Fig. 10(b)'s coalition: one VM of each type.
+func heterogeneousHost() (*hypervisor.Host, error) {
+	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
+	if err != nil {
+		return nil, err
+	}
+	set, err := vm.NewSet(vm.PaperCatalog(), []vm.VM{
+		{Name: "VM1", Type: 0}, {Name: "VM2", Type: 1},
+		{Name: "VM3", Type: 2}, {Name: "VM4", Type: 3},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hypervisor.NewHost(mach, set)
+}
+
+// paperMeter wraps a host with the evaluation's 1 Hz meter imperfections.
+func paperMeter(h *hypervisor.Host, seed int64) (*meter.SimMeter, error) {
+	return meter.NewSim(h.PowerSource(), meter.SimOptions{
+		NoiseStdDev: 0.25,
+		Resolution:  0.1,
+		Seed:        seed,
+	})
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"vmpower/internal/baseline"
+	"vmpower/internal/machine"
+	"vmpower/internal/stats"
+	"vmpower/internal/trace"
+	"vmpower/internal/vm"
+	"vmpower/internal/workload"
+)
+
+func init() {
+	register(Descriptor{ID: "fig3", Title: "Fig. 3 — whole-machine power model over integrated VMs", Run: runFig3})
+}
+
+// runFig3 reproduces Sec. III-B: run the synthetic random-CPU benchmark on
+// both C_VMs simultaneously, train the integrated whole-machine model
+// p' = a·u' + idle on (total CPU, measured power) samples, and verify it
+// tracks the machine power closely (the paper reports 2.07% average
+// relative error and a = 9.49, idle = 138 on the Xeon).
+func runFig3(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:         "fig3",
+		Title:      "Fig. 3 — whole-machine power model over integrated VMs",
+		PaperClaim: "integrated model p' = 9.49·u' + 138 tracks machine power with 2.07% average relative error",
+	}
+	host, err := twoCVMHost(machine.XeonProfile())
+	if err != nil {
+		return nil, err
+	}
+	m, err := paperMeter(host, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < host.Set().Len(); i++ {
+		if err := host.Attach(vm.ID(i), workload.Synthetic{Seed: cfg.Seed + int64(i)*31}); err != nil {
+			return nil, err
+		}
+	}
+	host.SetCoalition(vm.GrandCoalition(host.Set().Len()))
+
+	collect := func(ticks int) (cpu, power []float64, err error) {
+		for t := 0; t < ticks; t++ {
+			host.Advance(1)
+			snap := host.Collect()
+			var total float64
+			for _, s := range snap.States {
+				total += s[vm.CPU]
+			}
+			sample, err := m.Sample()
+			if err != nil {
+				return nil, nil, err
+			}
+			cpu = append(cpu, total)
+			power = append(power, sample.Power)
+		}
+		return cpu, power, nil
+	}
+
+	trainTicks := cfg.scale(400)
+	cpuTrain, powerTrain, err := collect(trainTicks)
+	if err != nil {
+		return nil, err
+	}
+	a, idle, err := baseline.FitWholeMachine(cpuTrain, powerTrain)
+	if err != nil {
+		return nil, err
+	}
+
+	validTicks := cfg.scale(400)
+	cpuValid, powerValid, err := collect(validTicks)
+	if err != nil {
+		return nil, err
+	}
+	tbl := trace.NewTable("measured_power", "model_power")
+	errs := make([]float64, 0, len(cpuValid))
+	for i := range cpuValid {
+		pred := a*cpuValid[i] + idle
+		errs = append(errs, stats.RelativeError(pred, powerValid[i]))
+		if err := tbl.AppendRow(powerValid[i], pred); err != nil {
+			return nil, err
+		}
+	}
+	res.AddTable("fig3", tbl)
+	sum, err := stats.Summarize(errs)
+	if err != nil {
+		return nil, err
+	}
+	res.Printf("fitted integrated model: p' = %.2f·u' + %.1f", a, idle)
+	res.Printf("validation error: %s", sum)
+	res.Set("coef", a)
+	res.Set("idle", idle)
+	res.Set("mean_rel_err", sum.Mean)
+	res.Set("max_rel_err", sum.Max)
+	return res, nil
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import "vmpower/internal/pricing"
+
+func init() {
+	register(Descriptor{ID: "table1", Title: "Table I — electricity vs IT hardware cost per mid-level VM-year", Run: runTable1})
+}
+
+func runTable1(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:         "table1",
+		Title:      "Table I — electricity vs IT hardware cost per mid-level VM-year",
+		PaperClaim: "electricity cost ($100.74–$105.15/yr US, $193.52–$201.94/yr DE) is chasing the 5-year-amortised IT hardware cost",
+	}
+	res.Printf("%-20s %12s %12s %10s %8s %8s %14s", "Instance Type", "Elec USA/yr", "Elec DE/yr", "CPU Cost", "RAM", "SSD", "HW amort./yr")
+	for _, row := range pricing.TableI() {
+		res.Printf("%-20s %12.2f %12.2f %10.2f %8.2f %8.2f %14.2f",
+			row.Family.Name, row.ElectricityUSA, row.ElectricityDE,
+			row.Family.CPUCost, row.Family.RAMCost, row.Family.SSDCost, row.HardwarePerYear)
+	}
+	rows := pricing.TableI()
+	res.Set("general_purpose_usa", rows[0].ElectricityUSA)
+	res.Set("general_purpose_de", rows[0].ElectricityDE)
+	res.Set("compute_optimized_usa", rows[1].ElectricityUSA)
+	// The motivating ratio: electricity as a fraction of amortised hardware.
+	res.Set("elec_over_hw_general", rows[0].ElectricityUSA/rows[0].HardwarePerYear)
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Band is one calibration contract from DESIGN.md §5: a metric of an
+// experiment must land inside [Min, Max] for the reproduction to count.
+type Band struct {
+	Experiment string
+	Metric     string
+	Min, Max   float64
+	// What states the paper-facing meaning of the band.
+	What string
+}
+
+// Contains reports whether v satisfies the band.
+func (b Band) Contains(v float64) bool {
+	return !math.IsNaN(v) && v >= b.Min && v <= b.Max
+}
+
+// Bands returns the calibration contract. quick loosens the bands that
+// depend on sample size (Quick mode runs ~8x fewer ticks).
+func Bands(quick bool) []Band {
+	bands := []Band{
+		{Experiment: "fig1", Metric: "extra_energy_pct", Min: 25, Max: 42,
+			What: "user B uses ~33% more energy (paper: 33%)"},
+		{Experiment: "fig3", Metric: "mean_rel_err", Min: 0, Max: 0.05,
+			What: "whole-machine model error low single digits (paper: 2.07%)"},
+		{Experiment: "fig4", Metric: "pentium_model_error", Min: 0.20, Max: 0.31,
+			What: "Pentium per-VM model error (paper: 25.22%)"},
+		{Experiment: "fig4", Metric: "xeon16_model_error", Min: 0.40, Max: 0.52,
+			What: "Xeon per-VM model error (paper: 46.15%)"},
+		{Experiment: "table3", Metric: "shapley_first", Min: 9.5, Max: 10.5,
+			What: "Shapley splits the 20 W pair 10/10 (paper: 10 W)"},
+		{Experiment: "fig7", Metric: "scenario_a_vm1_decline_shapley", Min: 0, Max: 0,
+			What: "Shapley never dings the non-competing bystander"},
+		{Experiment: "table4", Metric: "sublinearity", Min: 0.3, Max: 0.99,
+			What: "per-type coefficients sublinear in vCPUs (paper: 0.92)"},
+		{Experiment: "fig10", Metric: "overall_frac_below_5pct", Min: 0.75, Max: 1,
+			What: "v(S,C) approximation <5% error for ~90% of ticks (paper: ~90%)"},
+		{Experiment: "fig10", Metric: "overall_max", Min: 0, Max: 0.20,
+			What: "max approximation error ~12% (paper: 11.71%)"},
+		{Experiment: "fig11", Metric: "model_mean_rel_err", Min: 0.30, Max: 0.95,
+			What: "power-model aggregate error tens of percent (paper: 56.43%)"},
+		{Experiment: "fig11", Metric: "shapley_max_rel_err", Min: 0, Max: 1e-9,
+			What: "Shapley aggregate exactly matches the meter (Efficiency)"},
+		{Experiment: "headline", Metric: "frac_below_5pct", Min: 0.5, Max: 1,
+			What: "non-det. vs exact Shapley <5% for most estimates (paper: 90%)"},
+		{Experiment: "axioms", Metric: "efficiency_gap_max", Min: 0, Max: 1e-9,
+			What: "audited efficiency gap exactly zero"},
+		{Experiment: "axioms", Metric: "dummy_violations", Min: 0, Max: 0,
+			What: "stopped VMs always charged zero"},
+		{Experiment: "additivity", Metric: "additivity_deviation", Min: 0, Max: 1e-9,
+			What: "two-game additivity exact"},
+		{Experiment: "capping", Metric: "breach_fraction", Min: 0, Max: 0.25,
+			What: "capped VM respects its budget after settling"},
+	}
+	if !quick {
+		// Tighter full-run bands.
+		for i := range bands {
+			switch {
+			case bands[i].Experiment == "fig10" && bands[i].Metric == "overall_frac_below_5pct":
+				bands[i].Min = 0.85
+			case bands[i].Experiment == "headline" && bands[i].Metric == "frac_below_5pct":
+				bands[i].Min = 0.7
+			case bands[i].Experiment == "capping" && bands[i].Metric == "breach_fraction":
+				bands[i].Max = 0.1
+			}
+		}
+	}
+	return bands
+}
+
+// VerifyResult is the outcome of one band check.
+type VerifyResult struct {
+	Band  Band
+	Value float64
+	Pass  bool
+	Err   error
+}
+
+// Verify runs every banded experiment once and checks its metrics. It
+// returns all results plus an overall pass flag; experiments are run at
+// most once each even when several bands reference them.
+func Verify(cfg Config) ([]VerifyResult, bool, error) {
+	bands := Bands(cfg.Quick)
+	cache := make(map[string]*Result)
+	errs := make(map[string]error)
+	var out []VerifyResult
+	allPass := true
+	for _, b := range bands {
+		res, ok := cache[b.Experiment]
+		if !ok {
+			if prevErr, bad := errs[b.Experiment]; bad {
+				out = append(out, VerifyResult{Band: b, Err: prevErr})
+				allPass = false
+				continue
+			}
+			d, err := ByID(b.Experiment)
+			if err != nil {
+				return nil, false, err
+			}
+			res, err = d.Run(cfg)
+			if err != nil {
+				errs[b.Experiment] = err
+				out = append(out, VerifyResult{Band: b, Err: err})
+				allPass = false
+				continue
+			}
+			cache[b.Experiment] = res
+		}
+		v, ok := res.Values[b.Metric]
+		if !ok {
+			out = append(out, VerifyResult{Band: b, Err: fmt.Errorf("experiments: %s has no metric %q", b.Experiment, b.Metric)})
+			allPass = false
+			continue
+		}
+		pass := b.Contains(v)
+		if !pass {
+			allPass = false
+		}
+		out = append(out, VerifyResult{Band: b, Value: v, Pass: pass})
+	}
+	return out, allPass, nil
+}
+
+// FormatVerification renders a verification run as text.
+func FormatVerification(results []VerifyResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-12s %-32s %14s %24s\n", "status", "experiment", "metric", "value", "band")
+	for _, r := range results {
+		status := "PASS"
+		switch {
+		case r.Err != nil:
+			status = "ERROR"
+		case !r.Pass:
+			status = "FAIL"
+		}
+		if r.Err != nil {
+			fmt.Fprintf(&sb, "%-6s %-12s %-32s %14s %24s  (%v)\n", status, r.Band.Experiment, r.Band.Metric, "-", "-", r.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-6s %-12s %-32s %14.6g %11.4g..%-11.4g  %s\n",
+			status, r.Band.Experiment, r.Band.Metric, r.Value, r.Band.Min, r.Band.Max, r.Band.What)
+	}
+	return sb.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBandsWellFormed(t *testing.T) {
+	for _, quick := range []bool{false, true} {
+		for _, b := range Bands(quick) {
+			if b.Experiment == "" || b.Metric == "" || b.What == "" {
+				t.Fatalf("incomplete band %+v", b)
+			}
+			if b.Min > b.Max {
+				t.Fatalf("band %s/%s has Min > Max", b.Experiment, b.Metric)
+			}
+			if _, err := ByID(b.Experiment); err != nil {
+				t.Fatalf("band references unknown experiment %q", b.Experiment)
+			}
+		}
+	}
+}
+
+func TestBandContains(t *testing.T) {
+	b := Band{Min: 0.2, Max: 0.5}
+	if !b.Contains(0.2) || !b.Contains(0.5) || !b.Contains(0.3) {
+		t.Fatal("inclusive bounds broken")
+	}
+	if b.Contains(0.19) || b.Contains(0.51) {
+		t.Fatal("out-of-band accepted")
+	}
+}
+
+func TestVerifyQuick(t *testing.T) {
+	results, pass, err := Verify(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Bands(true)) {
+		t.Fatalf("got %d results for %d bands", len(results), len(Bands(true)))
+	}
+	if !pass {
+		t.Fatalf("quick verification failed:\n%s", FormatVerification(results))
+	}
+	text := FormatVerification(results)
+	if !strings.Contains(text, "PASS") || strings.Contains(text, "FAIL") {
+		t.Fatalf("unexpected verification text:\n%s", text)
+	}
+}
+
+func TestVerifyReportsMissingMetric(t *testing.T) {
+	// A synthetic band against a real experiment but a bogus metric must
+	// surface as an error result, not a panic.
+	out := FormatVerification([]VerifyResult{{
+		Band: Band{Experiment: "fig4", Metric: "bogus", What: "x"},
+		Err:  errBogus,
+	}})
+	if !strings.Contains(out, "ERROR") {
+		t.Fatalf("error rows must render as ERROR:\n%s", out)
+	}
+}
+
+var errBogus = &bogusError{}
+
+type bogusError struct{}
+
+func (*bogusError) Error() string { return "bogus" }

@@ -1,0 +1,298 @@
+// Package fleet scales the power accounting from one machine to a
+// datacenter: it places VMs onto a pool of independently metered hosts
+// (first-fit decreasing by vCPU, the classic consolidation heuristic the
+// paper's Sec. I datacenter context implies), runs one estimation
+// pipeline per host, and rolls allocations up per VM and per tenant. The
+// per-host games are independent, so by the Additivity axiom a tenant's
+// datacenter-wide power is simply the sum of its VMs' per-host Shapley
+// shares.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vmpower/internal/core"
+	"vmpower/internal/hypervisor"
+	"vmpower/internal/machine"
+	"vmpower/internal/meter"
+	"vmpower/internal/vm"
+	"vmpower/internal/workload"
+)
+
+// VMRequest asks for one VM in the fleet.
+type VMRequest struct {
+	// Name is the VM's fleet-unique name.
+	Name string
+	// Tenant owns the VM for billing rollups.
+	Tenant string
+	// Type is the Table IV catalog type.
+	Type vm.TypeID
+	// Workload is a benchmark name from the workload catalog (empty =
+	// idle until bound later).
+	Workload string
+	// WorkloadSeed seeds the benchmark.
+	WorkloadSeed int64
+}
+
+// Config describes the host pool.
+type Config struct {
+	// Hosts is the number of physical machines. Default 1.
+	Hosts int
+	// Profile is the machine profile (default XeonProfile).
+	Profile machine.Profile
+	// Policy is the vCPU scheduler policy (default Pack).
+	Policy machine.SchedulerPolicy
+	// Seed drives meters, collection workloads and benchmarks.
+	Seed int64
+	// MeterNoise is each wall meter's Gaussian sigma (default 0.25 W;
+	// negative disables).
+	MeterNoise float64
+	// CalibrationTicks is the per-combination offline sample count.
+	CalibrationTicks int
+}
+
+// placement records where a VM landed.
+type placement struct {
+	host  int
+	local vm.ID
+	req   VMRequest
+}
+
+// Fleet is a pool of accounted hosts.
+type Fleet struct {
+	hosts      []*hypervisor.Host
+	estimators []*core.Estimator
+	byName     map[string]placement
+	order      []string
+	energyWs   map[string]float64
+}
+
+// Tick is one datacenter-wide estimation step.
+type Tick struct {
+	// PerVM is each VM's attributed dynamic power, keyed by name.
+	PerVM map[string]float64
+	// PerTenant sums PerVM by tenant.
+	PerTenant map[string]float64
+	// MeasuredTotal is the sum of all host meter readings (incl. idle).
+	MeasuredTotal float64
+	// DynamicTotal is the idle-deducted sum the shares add up to.
+	DynamicTotal float64
+}
+
+// New builds the fleet: places the requested VMs, constructs one host +
+// meter + estimator per machine, and binds workloads. VMs start running.
+func New(cfg Config, reqs []VMRequest) (*Fleet, error) {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 1
+	}
+	if cfg.Profile.Name == "" {
+		cfg.Profile = machine.XeonProfile()
+	}
+	if len(reqs) == 0 {
+		return nil, errors.New("fleet: no VM requests")
+	}
+	catalog := vm.PaperCatalog()
+
+	// Validate requests and compute sizes.
+	seen := make(map[string]bool, len(reqs))
+	type sized struct {
+		req   VMRequest
+		vcpus int
+	}
+	items := make([]sized, 0, len(reqs))
+	for _, r := range reqs {
+		if r.Name == "" {
+			return nil, errors.New("fleet: VM request with empty name")
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("fleet: duplicate VM name %q", r.Name)
+		}
+		seen[r.Name] = true
+		t, err := catalog.ByID(r.Type)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: VM %q: %w", r.Name, err)
+		}
+		items = append(items, sized{req: r, vcpus: t.VCPUs})
+	}
+
+	// First-fit decreasing placement by vCPUs (ties broken by name so
+	// placement is deterministic).
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].vcpus != items[j].vcpus {
+			return items[i].vcpus > items[j].vcpus
+		}
+		return items[i].req.Name < items[j].req.Name
+	})
+	capacity := cfg.Profile.LogicalCores()
+	free := make([]int, cfg.Hosts)
+	for i := range free {
+		free[i] = capacity
+	}
+	perHost := make([][]VMRequest, cfg.Hosts)
+	for _, it := range items {
+		placed := false
+		for h := 0; h < cfg.Hosts; h++ {
+			if free[h] >= it.vcpus {
+				perHost[h] = append(perHost[h], it.req)
+				free[h] -= it.vcpus
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("%w: VM %q needs %d vCPUs, no host has room",
+				machine.ErrOvercommit, it.req.Name, it.vcpus)
+		}
+	}
+
+	f := &Fleet{
+		byName:   make(map[string]placement, len(reqs)),
+		energyWs: make(map[string]float64, len(reqs)),
+	}
+	noise := cfg.MeterNoise
+	switch {
+	case noise < 0:
+		noise = 0
+	case noise == 0:
+		noise = 0.25
+	}
+	for h := 0; h < cfg.Hosts; h++ {
+		if len(perHost[h]) == 0 {
+			continue // empty hosts draw idle power but host no game
+		}
+		mach, err := machine.New(cfg.Profile, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		vms := make([]vm.VM, len(perHost[h]))
+		for i, r := range perHost[h] {
+			vms[i] = vm.VM{Name: r.Name, Type: r.Type}
+		}
+		set, err := vm.NewSet(catalog, vms)
+		if err != nil {
+			return nil, err
+		}
+		host, err := hypervisor.NewHost(mach, set)
+		if err != nil {
+			return nil, err
+		}
+		m, err := meter.NewSim(host.PowerSource(), meter.SimOptions{
+			NoiseStdDev: noise,
+			Resolution:  0.1,
+			Seed:        cfg.Seed + int64(h)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		est, err := core.New(host, m, core.Config{
+			OfflineTicksPerCombo: cfg.CalibrationTicks,
+			Seed:                 cfg.Seed + int64(h),
+		})
+		if err != nil {
+			return nil, err
+		}
+		hostIdx := len(f.hosts)
+		f.hosts = append(f.hosts, host)
+		f.estimators = append(f.estimators, est)
+		for i, r := range perHost[h] {
+			f.byName[r.Name] = placement{host: hostIdx, local: vm.ID(i), req: r}
+		}
+	}
+	// Stable reporting order: request order.
+	for _, r := range reqs {
+		f.order = append(f.order, r.Name)
+	}
+	return f, nil
+}
+
+// Hosts returns the number of non-empty hosts in the pool.
+func (f *Fleet) Hosts() int { return len(f.hosts) }
+
+// Placement returns each VM's host index.
+func (f *Fleet) Placement() map[string]int {
+	out := make(map[string]int, len(f.byName))
+	for name, p := range f.byName {
+		out[name] = p.host
+	}
+	return out
+}
+
+// Calibrate runs the offline collection phase on every host.
+func (f *Fleet) Calibrate() error {
+	for i, est := range f.estimators {
+		if err := est.CollectOffline(); err != nil {
+			return fmt.Errorf("fleet: host %d: %w", i, err)
+		}
+	}
+	// Bind workloads and start everything.
+	for _, name := range f.order {
+		p := f.byName[name]
+		if p.req.Workload == "" {
+			continue
+		}
+		gen, err := workload.ByName(p.req.Workload, p.req.WorkloadSeed)
+		if err != nil {
+			return fmt.Errorf("fleet: VM %q: %w", name, err)
+		}
+		if err := f.hosts[p.host].Attach(p.local, gen); err != nil {
+			return err
+		}
+	}
+	for _, host := range f.hosts {
+		host.SetCoalition(vm.GrandCoalition(host.Set().Len()))
+	}
+	return nil
+}
+
+// Step advances every host one tick and aggregates the allocations.
+func (f *Fleet) Step() (*Tick, error) {
+	tick := &Tick{
+		PerVM:     make(map[string]float64, len(f.byName)),
+		PerTenant: make(map[string]float64),
+	}
+	allocs := make([]*core.Allocation, len(f.estimators))
+	for i, est := range f.estimators {
+		f.hosts[i].Advance(1)
+		alloc, err := est.EstimateTick()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: host %d: %w", i, err)
+		}
+		allocs[i] = alloc
+		tick.MeasuredTotal += alloc.MeasuredPower
+		tick.DynamicTotal += alloc.DynamicPower
+	}
+	for _, name := range f.order {
+		p := f.byName[name]
+		w := allocs[p.host].PerVM[int(p.local)]
+		tick.PerVM[name] = w
+		tick.PerTenant[p.req.Tenant] += w
+		f.energyWs[name] += w
+	}
+	return tick, nil
+}
+
+// Run performs n steps, invoking fn after each (false stops early).
+func (f *Fleet) Run(n int, fn func(*Tick) bool) error {
+	for i := 0; i < n; i++ {
+		tick, err := f.Step()
+		if err != nil {
+			return err
+		}
+		if fn != nil && !fn(tick) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// EnergyWhByTenant returns cumulative attributed energy per tenant in
+// watt-hours since the fleet started stepping.
+func (f *Fleet) EnergyWhByTenant() map[string]float64 {
+	out := make(map[string]float64)
+	for name, ws := range f.energyWs {
+		out[f.byName[name].req.Tenant] += ws / 3600
+	}
+	return out
+}

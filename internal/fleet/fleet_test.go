@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vmpower/internal/machine"
+)
+
+func quickConfig(hosts int) Config {
+	return Config{
+		Hosts:            hosts,
+		Seed:             1,
+		MeterNoise:       -1,
+		CalibrationTicks: 60,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(quickConfig(1), nil); err == nil {
+		t.Fatal("want no-requests error")
+	}
+	if _, err := New(quickConfig(1), []VMRequest{{Name: ""}}); err == nil {
+		t.Fatal("want empty-name error")
+	}
+	dup := []VMRequest{{Name: "a", Type: 0}, {Name: "a", Type: 0}}
+	if _, err := New(quickConfig(1), dup); err == nil {
+		t.Fatal("want duplicate-name error")
+	}
+	if _, err := New(quickConfig(1), []VMRequest{{Name: "a", Type: 9}}); err == nil {
+		t.Fatal("want unknown-type error")
+	}
+}
+
+func TestPlacementFirstFitDecreasing(t *testing.T) {
+	// 2 hosts × 32 logical cores. Requests: 5×xlarge (8 vCPU) = 40
+	// vCPUs plus smalls. FFD puts four xlarge on host 0 (32), the fifth
+	// on host 1, smalls fill host 1.
+	reqs := []VMRequest{
+		{Name: "x1", Tenant: "t", Type: 3}, {Name: "x2", Tenant: "t", Type: 3},
+		{Name: "x3", Tenant: "t", Type: 3}, {Name: "x4", Tenant: "t", Type: 3},
+		{Name: "x5", Tenant: "t", Type: 3},
+		{Name: "s1", Tenant: "t", Type: 0}, {Name: "s2", Tenant: "t", Type: 0},
+	}
+	f, err := New(quickConfig(2), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := f.Placement()
+	if f.Hosts() != 2 {
+		t.Fatalf("Hosts = %d", f.Hosts())
+	}
+	host0 := 0
+	for _, name := range []string{"x1", "x2", "x3", "x4"} {
+		if place[name] == place["x5"] {
+			host0++
+		}
+	}
+	if host0 != 0 {
+		t.Fatalf("FFD should isolate x5: placement %v", place)
+	}
+	if place["s1"] != place["x5"] || place["s2"] != place["x5"] {
+		t.Fatalf("smalls should backfill host 1: %v", place)
+	}
+}
+
+func TestPlacementOvercommit(t *testing.T) {
+	// 1 host, 5 xlarge = 40 vCPUs > 32.
+	reqs := make([]VMRequest, 5)
+	for i := range reqs {
+		reqs[i] = VMRequest{Name: string(rune('a' + i)), Tenant: "t", Type: 3}
+	}
+	if _, err := New(quickConfig(1), reqs); !errors.Is(err, machine.ErrOvercommit) {
+		t.Fatalf("want ErrOvercommit, got %v", err)
+	}
+}
+
+func TestFleetEndToEnd(t *testing.T) {
+	// 4 xlarge (32 vCPUs) fill host 0; the smalls and db spill to host 1,
+	// so the rollup genuinely spans two independent games.
+	reqs := []VMRequest{
+		{Name: "web1", Tenant: "alice", Type: 0, Workload: "gcc", WorkloadSeed: 1},
+		{Name: "web2", Tenant: "alice", Type: 0, Workload: "gcc", WorkloadSeed: 2},
+		{Name: "db", Tenant: "bob", Type: 2, Workload: "omnetpp", WorkloadSeed: 3},
+		{Name: "batch1", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 4},
+		{Name: "batch2", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 5},
+		{Name: "batch3", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 6},
+		{Name: "batch4", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 7},
+	}
+	f, err := New(quickConfig(2), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Hosts() != 2 {
+		t.Fatalf("Hosts = %d, want 2", f.Hosts())
+	}
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 5
+	var lastTick *Tick
+	if err := f.Run(ticks, func(tk *Tick) bool {
+		lastTick = tk
+		// Efficiency rolls up: per-VM shares sum to the dynamic total.
+		var sum float64
+		for _, w := range tk.PerVM {
+			sum += w
+		}
+		if math.Abs(sum-tk.DynamicTotal) > 1e-6 {
+			t.Fatalf("Σ shares %g vs dynamic total %g", sum, tk.DynamicTotal)
+		}
+		// Tenant rollup is consistent.
+		var tenantSum float64
+		for _, w := range tk.PerTenant {
+			tenantSum += w
+		}
+		if math.Abs(tenantSum-sum) > 1e-9 {
+			t.Fatal("tenant rollup inconsistent")
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lastTick == nil {
+		t.Fatal("no ticks delivered")
+	}
+	// Every VM drew positive power (all run CPU-heavy benchmarks).
+	for name, w := range lastTick.PerVM {
+		if w <= 0 {
+			t.Fatalf("%s drew %g W", name, w)
+		}
+	}
+	// Measured totals include both hosts' idle power.
+	if lastTick.MeasuredTotal < 2*138 {
+		t.Fatalf("MeasuredTotal = %g, want > 276", lastTick.MeasuredTotal)
+	}
+	// Energy rollup: positive for both tenants, bob (12 vCPUs) > alice (2).
+	energy := f.EnergyWhByTenant()
+	if energy["alice"] <= 0 || energy["bob"] <= 0 {
+		t.Fatalf("energy = %v", energy)
+	}
+	if energy["bob"] <= energy["alice"] {
+		t.Fatalf("bob should out-consume alice: %v", energy)
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	reqs := []VMRequest{
+		{Name: "a", Tenant: "t", Type: 0, Workload: "wrf", WorkloadSeed: 1},
+		{Name: "b", Tenant: "t", Type: 1, Workload: "sjeng", WorkloadSeed: 2},
+	}
+	run := func() map[string]float64 {
+		f, err := New(quickConfig(1), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Calibrate(); err != nil {
+			t.Fatal(err)
+		}
+		var last *Tick
+		if err := f.Run(3, func(tk *Tick) bool { last = tk; return true }); err != nil {
+			t.Fatal(err)
+		}
+		return last.PerVM
+	}
+	r1, r2 := run(), run()
+	for name := range r1 {
+		if r1[name] != r2[name] {
+			t.Fatalf("non-deterministic: %s %g vs %g", name, r1[name], r2[name])
+		}
+	}
+}
+
+func TestEmptyHostsAllowed(t *testing.T) {
+	// More hosts than needed: extra hosts are simply unused.
+	reqs := []VMRequest{{Name: "only", Tenant: "t", Type: 0, Workload: "gcc"}}
+	f, err := New(quickConfig(4), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Hosts() != 1 {
+		t.Fatalf("non-empty hosts = %d, want 1", f.Hosts())
+	}
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Step(); err != nil {
+		t.Fatal(err)
+	}
+}

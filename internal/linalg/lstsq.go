@@ -1,0 +1,239 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned by QR-based solves when the system has no
+// unique solution and no ridge fallback was requested.
+var ErrRankDeficient = errors.New("linalg: rank-deficient system")
+
+// QR holds a Householder QR decomposition of an m×n matrix with m >= n.
+// R is stored in the upper triangle of qr; the Householder vectors in the
+// lower triangle plus tau.
+type QR struct {
+	qr  *Matrix
+	tau []float64
+}
+
+// DecomposeQR computes the Householder QR decomposition of a.
+// It requires a.Rows() >= a.Cols() and a non-empty matrix.
+func DecomposeQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("%w: empty matrix %dx%d", ErrDimension, m, n)
+	}
+	if m < n {
+		return nil, fmt.Errorf("%w: underdetermined %dx%d", ErrDimension, m, n)
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Compute the norm of the k-th column below (and including) row k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		tau[k] = norm
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau}, nil
+}
+
+// Solve finds x minimising ||a·x − b|| given the decomposition of a.
+// It returns ErrRankDeficient when R has a (near-)zero diagonal entry.
+func (d *QR) Solve(b Vector) (Vector, error) {
+	m, n := d.qr.Rows(), d.qr.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("%w: rhs %d, want %d", ErrDimension, len(b), m)
+	}
+	// y = Qᵀ b, applied reflector by reflector.
+	y := b.Clone()
+	for k := 0; k < n; k++ {
+		if d.tau[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += d.qr.At(i, k) * y[i]
+		}
+		s = -s / d.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * d.qr.At(i, k)
+		}
+	}
+	// Back substitution with R (diag(R) = -tau, strict upper in qr).
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= d.qr.At(i, j) * x[j]
+		}
+		rii := -d.tau[i]
+		if math.Abs(rii) < 1e-12 {
+			return nil, fmt.Errorf("%w: R[%d][%d]=%g", ErrRankDeficient, i, i, rii)
+		}
+		x[i] = s / rii
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||a·x − b||₂ via QR. If the system is rank
+// deficient it falls back to ridge regression with the given lambda
+// (a small positive value such as 1e-8; pass 0 to disable the fallback).
+func LeastSquares(a *Matrix, b Vector, ridgeLambda float64) (Vector, error) {
+	if a.Rows() != len(b) {
+		return nil, fmt.Errorf("%w: %d rows vs %d rhs", ErrDimension, a.Rows(), len(b))
+	}
+	if a.Rows() >= a.Cols() {
+		qr, err := DecomposeQR(a)
+		if err == nil {
+			x, err := qr.Solve(b)
+			if err == nil {
+				return x, nil
+			}
+			if !errors.Is(err, ErrRankDeficient) {
+				return nil, err
+			}
+		}
+		if ridgeLambda <= 0 {
+			return nil, ErrRankDeficient
+		}
+	} else if ridgeLambda <= 0 {
+		return nil, fmt.Errorf("%w: underdetermined %dx%d without ridge", ErrRankDeficient, a.Rows(), a.Cols())
+	}
+	return Ridge(a, b, ridgeLambda)
+}
+
+// Ridge solves (aᵀa + λI)x = aᵀb, the Tikhonov-regularised normal
+// equations, via Cholesky decomposition. lambda must be positive.
+func Ridge(a *Matrix, b Vector, lambda float64) (Vector, error) {
+	if lambda <= 0 {
+		return nil, fmt.Errorf("linalg: ridge lambda must be positive, got %g", lambda)
+	}
+	if a.Rows() != len(b) {
+		return nil, fmt.Errorf("%w: %d rows vs %d rhs", ErrDimension, a.Rows(), len(b))
+	}
+	n := a.Cols()
+	at := a.Transpose()
+	ata, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		ata.Set(i, i, ata.At(i, i)+lambda)
+	}
+	atb, err := at.MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	l, err := cholesky(ata)
+	if err != nil {
+		return nil, err
+	}
+	return choleskySolve(l, atb)
+}
+
+// cholesky returns the lower-triangular factor L with a = L·Lᵀ.
+func cholesky(a *Matrix) (*Matrix, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, fmt.Errorf("%w: cholesky of %dx%d", ErrDimension, n, a.Cols())
+	}
+	l, err := NewMatrix(n, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("linalg: matrix not positive definite at %d (pivot %g)", i, s)
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// choleskySolve solves L·Lᵀ·x = b.
+func choleskySolve(l *Matrix, b Vector) (Vector, error) {
+	n := l.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: cholesky rhs %d, want %d", ErrDimension, len(b), n)
+	}
+	// Forward: L y = b.
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ x = y.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// Residual returns b − a·x, useful for fit diagnostics.
+func Residual(a *Matrix, x, b Vector) (Vector, error) {
+	ax, err := a.MulVec(x)
+	if err != nil {
+		return nil, err
+	}
+	return b.Sub(ax)
+}
+
+// RMSE returns the root-mean-square of b − a·x.
+func RMSE(a *Matrix, x, b Vector) (float64, error) {
+	r, err := Residual(a, x, b)
+	if err != nil {
+		return 0, err
+	}
+	if len(r) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for _, v := range r {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(r))), nil
+}

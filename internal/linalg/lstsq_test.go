@@ -1,0 +1,264 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRSolveExact(t *testing.T) {
+	// Square well-conditioned system: the QR solution must match the
+	// known x for a·x = b.
+	a, _ := MatrixFromRows([][]float64{
+		{2, 1, 0},
+		{1, 3, 1},
+		{0, 1, 4},
+	})
+	want := Vector{1, -2, 3}
+	b, err := a.MulVec(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := DecomposeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := qr.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equalish(want, 1e-10) {
+		t.Fatalf("Solve = %v, want %v", got, want)
+	}
+}
+
+func TestQRErrors(t *testing.T) {
+	if _, err := DecomposeQR(&Matrix{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("empty: %v", err)
+	}
+	wide, _ := NewMatrix(1, 2)
+	if _, err := DecomposeQR(wide); !errors.Is(err, ErrDimension) {
+		t.Fatalf("underdetermined: %v", err)
+	}
+	a, _ := MatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	qr, err := DecomposeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qr.Solve(Vector{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("rhs mismatch: %v", err)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Two identical columns: R has a zero pivot.
+	a, _ := MatrixFromRows([][]float64{
+		{1, 1},
+		{2, 2},
+		{3, 3},
+	})
+	qr, err := DecomposeQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qr.Solve(Vector{1, 2, 3}); !errors.Is(err, ErrRankDeficient) {
+		t.Fatalf("want ErrRankDeficient, got %v", err)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Noise-free overdetermined system recovers the generating weights.
+	rng := rand.New(rand.NewSource(7))
+	want := Vector{3.5, -1.25, 0.75}
+	rows := make([][]float64, 40)
+	b := make(Vector, 40)
+	for i := range rows {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		rows[i] = row
+		b[i] = want[0]*row[0] + want[1]*row[1] + want[2]*row[2]
+	}
+	a, _ := MatrixFromRows(rows)
+	got, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equalish(want, 1e-9) {
+		t.Fatalf("LeastSquares = %v, want %v", got, want)
+	}
+	rmse, err := RMSE(a, got, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 1e-9 {
+		t.Fatalf("RMSE = %g", rmse)
+	}
+}
+
+func TestLeastSquaresRidgeFallback(t *testing.T) {
+	// A zero column is rank deficient; the ridge fallback must return a
+	// finite solution with (near-)zero weight on the dead column.
+	rows := make([][]float64, 20)
+	b := make(Vector, 20)
+	rng := rand.New(rand.NewSource(3))
+	for i := range rows {
+		x := rng.Float64()
+		rows[i] = []float64{x, 0}
+		b[i] = 2 * x
+	}
+	a, _ := MatrixFromRows(rows)
+	if _, err := LeastSquares(a, b, 0); !errors.Is(err, ErrRankDeficient) {
+		t.Fatalf("without ridge: %v", err)
+	}
+	got, err := LeastSquares(a, b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-2) > 1e-4 {
+		t.Fatalf("live column weight = %g, want 2", got[0])
+	}
+	if math.Abs(got[1]) > 1e-6 {
+		t.Fatalf("dead column weight = %g, want 0", got[1])
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2, 3}})
+	if _, err := LeastSquares(a, Vector{6}, 0); !errors.Is(err, ErrRankDeficient) {
+		t.Fatalf("underdetermined without ridge: %v", err)
+	}
+	got, err := LeastSquares(a, Vector{6}, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := a.MulVec(got)
+	if math.Abs(pred[0]-6) > 1e-4 {
+		t.Fatalf("ridge underdetermined prediction = %g, want 6", pred[0])
+	}
+}
+
+func TestLeastSquaresShapeError(t *testing.T) {
+	a, _ := NewMatrix(3, 2)
+	if _, err := LeastSquares(a, Vector{1}, 0); !errors.Is(err, ErrDimension) {
+		t.Fatalf("shape: %v", err)
+	}
+}
+
+func TestRidgeValidation(t *testing.T) {
+	a, _ := NewMatrix(2, 2)
+	if _, err := Ridge(a, Vector{1, 2}, 0); err == nil {
+		t.Fatal("want error for non-positive lambda")
+	}
+	if _, err := Ridge(a, Vector{1}, 1); !errors.Is(err, ErrDimension) {
+		t.Fatalf("shape: %v", err)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	// Heavy regularisation shrinks the solution toward zero.
+	a, _ := MatrixFromRows([][]float64{{1}, {1}, {1}})
+	b := Vector{2, 2, 2}
+	small, err := Ridge(a, b, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Ridge(a, b, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(math.Abs(big[0]) < math.Abs(small[0])) {
+		t.Fatalf("ridge did not shrink: small=%g big=%g", small[0], big[0])
+	}
+	if math.Abs(small[0]-2) > 1e-6 {
+		t.Fatalf("tiny lambda solution = %g, want ~2", small[0])
+	}
+}
+
+func TestResidual(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	r, err := Residual(a, Vector{1, 2}, Vector{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equalish(Vector{2, 1}, 0) {
+		t.Fatalf("Residual = %v", r)
+	}
+}
+
+// Property: for random overdetermined systems built from known weights,
+// least squares recovers them (noise-free identifiability).
+func TestLeastSquaresRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := n*3 + rng.Intn(10)
+		want := make(Vector, n)
+		for i := range want {
+			want[i] = rng.NormFloat64() * 5
+		}
+		rows := make([][]float64, m)
+		b := make(Vector, m)
+		for i := range rows {
+			row := make([]float64, n)
+			var dot float64
+			for j := range row {
+				row[j] = rng.NormFloat64()
+				dot += row[j] * want[j]
+			}
+			rows[i] = row
+			b[i] = dot
+		}
+		a, err := MatrixFromRows(rows)
+		if err != nil {
+			return false
+		}
+		got, err := LeastSquares(a, b, 1e-10)
+		if err != nil {
+			return false
+		}
+		return got.Equalish(want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the least-squares residual is orthogonal to the column space.
+func TestResidualOrthogonalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		m := n * 4
+		rows := make([][]float64, m)
+		b := make(Vector, m)
+		for i := range rows {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			rows[i] = row
+			b[i] = rng.NormFloat64() * 3
+		}
+		a, err := MatrixFromRows(rows)
+		if err != nil {
+			return false
+		}
+		x, err := LeastSquares(a, b, 1e-10)
+		if err != nil {
+			return false
+		}
+		r, err := Residual(a, x, b)
+		if err != nil {
+			return false
+		}
+		atr, err := a.TMulVec(r)
+		if err != nil {
+			return false
+		}
+		return atr.MaxAbs() < 1e-6*(1+b.MaxAbs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	tests := []struct {
+		name    string
+		v, u    Vector
+		want    float64
+		wantErr bool
+	}{
+		{name: "basic", v: Vector{1, 2, 3}, u: Vector{4, 5, 6}, want: 32},
+		{name: "empty", v: Vector{}, u: Vector{}, want: 0},
+		{name: "negatives", v: Vector{-1, 1}, u: Vector{1, -1}, want: -2},
+		{name: "mismatch", v: Vector{1}, u: Vector{1, 2}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.v.Dot(tt.u)
+			if tt.wantErr {
+				if !errors.Is(err, ErrDimension) {
+					t.Fatalf("want ErrDimension, got %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Fatalf("Dot = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVectorAddSub(t *testing.T) {
+	v := Vector{1, 2}
+	u := Vector{3, 5}
+	sum, err := v.Add(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Equalish(Vector{4, 7}, 0) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, err := v.Sub(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equalish(Vector{-2, -3}, 0) {
+		t.Fatalf("Sub = %v", diff)
+	}
+	if _, err := v.Add(Vector{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Add mismatch: %v", err)
+	}
+	if _, err := v.Sub(Vector{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Sub mismatch: %v", err)
+	}
+}
+
+func TestVectorAddInPlace(t *testing.T) {
+	v := Vector{1, 2}
+	if err := v.AddInPlace(Vector{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equalish(Vector{11, 22}, 0) {
+		t.Fatalf("AddInPlace = %v", v)
+	}
+	if err := v.AddInPlace(Vector{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("want ErrDimension, got %v", err)
+	}
+}
+
+func TestVectorScaleCloneSum(t *testing.T) {
+	v := Vector{1, -2, 3}
+	s := v.Scale(2)
+	if !s.Equalish(Vector{2, -4, 6}, 0) {
+		t.Fatalf("Scale = %v", s)
+	}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+	if got := v.Sum(); got != 2 {
+		t.Fatalf("Sum = %g", got)
+	}
+}
+
+func TestVectorNorm2(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vector
+		want float64
+	}{
+		{name: "pythagorean", v: Vector{3, 4}, want: 5},
+		{name: "empty", v: Vector{}, want: 0},
+		{name: "zeros", v: Vector{0, 0}, want: 0},
+		{name: "huge components no overflow", v: Vector{1e200, 1e200}, want: math.Sqrt2 * 1e200},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.v.Norm2()
+			if math.Abs(got-tt.want) > tt.want*1e-12 {
+				t.Fatalf("Norm2 = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVectorMaxAbs(t *testing.T) {
+	if got := (Vector{-7, 3}).MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %g", got)
+	}
+	if got := (Vector{}).MaxAbs(); got != 0 {
+		t.Fatalf("MaxAbs empty = %g", got)
+	}
+}
+
+func TestVectorEqualish(t *testing.T) {
+	if !(Vector{1, 2}).Equalish(Vector{1.0001, 2}, 0.001) {
+		t.Fatal("want equalish within tol")
+	}
+	if (Vector{1, 2}).Equalish(Vector{1.1, 2}, 0.001) {
+		t.Fatal("want not equalish")
+	}
+	if (Vector{1}).Equalish(Vector{1, 2}, 1) {
+		t.Fatal("length mismatch must not be equalish")
+	}
+}
+
+// Property: dot product is symmetric and linear in the first argument.
+func TestVectorDotProperties(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		v, u := Vector(a[:]), Vector(b[:])
+		vu, err1 := v.Dot(u)
+		uv, err2 := u.Dot(v)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.IsNaN(vu) || math.IsNaN(uv) {
+			return true // NaN inputs are uninteresting
+		}
+		return vu == uv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ||v||₂² ≈ v·v for moderate inputs.
+func TestVectorNormDotProperty(t *testing.T) {
+	f := func(a [6]float64) bool {
+		v := make(Vector, len(a))
+		for i, x := range a {
+			// Bound the magnitude so the property holds in float64.
+			v[i] = math.Mod(x, 1e6)
+			if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+				v[i] = 1
+			}
+		}
+		dot, err := v.Dot(v)
+		if err != nil {
+			return false
+		}
+		n := v.Norm2()
+		return math.Abs(n*n-dot) <= 1e-6*(1+dot)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

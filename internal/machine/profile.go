@@ -1,0 +1,156 @@
+// Package machine simulates the power behaviour of the paper's physical
+// testbed: hyper-threaded x86 machines whose wall power exhibits the VM
+// interaction effects the paper measures (Sec. III). It substitutes for
+// the Pentium/Xeon hardware: the algorithms only ever observe
+// (VM states, machine power) pairs, exactly the interface the real
+// testbed exposes through its power meter.
+//
+// The ground-truth power function is
+//
+//	P = Idle + delivery(activeCores) · Σ_cores P_core(u1, u2) + P_mem + P_disk
+//	P_core(u1, u2) = Uncore·1{u1+u2>0} + Alpha·(u1+u2) − Beta·min(u1, u2)
+//
+// where u1, u2 are the core's two hyperthread utilizations. The −Beta·min
+// term is the hyper-threading contention of Fig. 5: when both sibling
+// threads are busy they share execution units, so the second thread adds
+// less power than the first. Profiles are calibrated so the paper's
+// headline observations reproduce: on the Xeon profile a first 100%-busy
+// 1-vCPU VM adds 13 W and an identical second one only 7 W (46.15% error
+// for the independent per-VM power model, Fig. 4b); on the Pentium
+// profile the corresponding error is 25.22% (Fig. 4a).
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Profile describes the power behaviour of a physical machine model.
+type Profile struct {
+	// Name identifies the profile ("xeon16", "pentium").
+	Name string
+	// PhysicalCores is the number of physical cores.
+	PhysicalCores int
+	// ThreadsPerCore is the hyperthread count per core (2 with HTT).
+	ThreadsPerCore int
+	// IdlePower is the whole-machine idle power in watts (the paper's
+	// Xeon machine idles at ~138 W).
+	IdlePower float64
+	// UncorePower is the per-physical-core power drawn as soon as either
+	// of its threads is non-idle (clock gating released), in watts.
+	UncorePower float64
+	// Alpha is the full-utilization power of one hyperthread on an
+	// otherwise idle core, in watts.
+	Alpha float64
+	// Beta is the hyper-threading contention penalty: power NOT drawn
+	// when both sibling threads are simultaneously busy, in watts at
+	// full overlap. Beta < Alpha.
+	Beta float64
+	// DeliveryFloor and DeliveryTau model the machine-level per-core
+	// power sublinearity of turbo/frequency scaling and shared power
+	// delivery: with c active physical cores, total CPU dynamic power is
+	// scaled by
+	//
+	//	factor(c) = DeliveryFloor + (1−DeliveryFloor)·exp(−(c−1)/DeliveryTau)
+	//
+	// so a lone busy core runs at full (turbo) power per unit work while
+	// a fully loaded machine draws substantially less per core — the
+	// effect that makes the sum of independently trained per-VM power
+	// models overshoot the measured power by tens of percent (Fig. 11).
+	// DeliveryFloor = 1 (or DeliveryTau <= 0) disables the effect.
+	DeliveryFloor float64
+	DeliveryTau   float64
+	// MemoryGB is the machine's installed memory.
+	MemoryGB int
+	// MemoryPowerMax is the extra power at full memory activity (the
+	// paper measures ~12 W and calls it stable; we keep a small dynamic
+	// range so the multi-component state vectors are exercised).
+	MemoryPowerMax float64
+	// DiskPowerMax is the extra power at full disk activity (~10 W).
+	DiskPowerMax float64
+}
+
+// Validate checks the profile is physically sensible.
+func (p Profile) Validate() error {
+	switch {
+	case p.PhysicalCores <= 0:
+		return fmt.Errorf("machine: profile %q has %d physical cores", p.Name, p.PhysicalCores)
+	case p.ThreadsPerCore <= 0 || p.ThreadsPerCore > 2:
+		return fmt.Errorf("machine: profile %q has %d threads/core, want 1 or 2", p.Name, p.ThreadsPerCore)
+	case p.IdlePower < 0:
+		return fmt.Errorf("machine: profile %q has negative idle power", p.Name)
+	case p.Alpha <= 0:
+		return fmt.Errorf("machine: profile %q has non-positive alpha", p.Name)
+	case p.Beta < 0 || p.Beta >= p.Alpha:
+		return fmt.Errorf("machine: profile %q beta %g outside [0, alpha=%g)", p.Name, p.Beta, p.Alpha)
+	case p.UncorePower < 0:
+		return fmt.Errorf("machine: profile %q has negative uncore power", p.Name)
+	case p.DeliveryFloor <= 0 || p.DeliveryFloor > 1:
+		return fmt.Errorf("machine: profile %q delivery floor %g outside (0,1]", p.Name, p.DeliveryFloor)
+	case p.DeliveryFloor < 1 && p.DeliveryTau <= 0:
+		return fmt.Errorf("machine: profile %q delivery floor %g needs positive tau, got %g", p.Name, p.DeliveryFloor, p.DeliveryTau)
+	case p.MemoryGB <= 0:
+		return fmt.Errorf("machine: profile %q has %d GB memory", p.Name, p.MemoryGB)
+	case p.MemoryPowerMax < 0 || p.DiskPowerMax < 0:
+		return fmt.Errorf("machine: profile %q has negative component power", p.Name)
+	}
+	return nil
+}
+
+// LogicalCores returns the number of schedulable hyperthreads.
+func (p Profile) LogicalCores() int { return p.PhysicalCores * p.ThreadsPerCore }
+
+// DeliveryFactor returns the per-core power scale with activeCores busy
+// physical cores (1.0 for a single active core).
+func (p Profile) DeliveryFactor(activeCores int) float64 {
+	if activeCores <= 1 || p.DeliveryFloor >= 1 || p.DeliveryTau <= 0 {
+		return 1
+	}
+	return p.DeliveryFloor + (1-p.DeliveryFloor)*math.Exp(-float64(activeCores-1)/p.DeliveryTau)
+}
+
+// XeonProfile models the prototype's Intel Xeon 16-core machine (Sec. VI-B):
+// idle ~138 W; a lone 100%-busy hyperthread adds Uncore+Alpha = 13 W and a
+// busy sibling adds Alpha−Beta = 7 W, reproducing Fig. 4b exactly.
+func XeonProfile() Profile {
+	return Profile{
+		Name:           "xeon16",
+		PhysicalCores:  16,
+		ThreadsPerCore: 2,
+		IdlePower:      138,
+		UncorePower:    2,
+		Alpha:          11,
+		Beta:           4,
+		DeliveryFloor:  0.45,
+		DeliveryTau:    4,
+		MemoryGB:       32,
+		MemoryPowerMax: 4,
+		DiskPowerMax:   3,
+	}
+}
+
+// PentiumProfile models the paper's Intel Pentium measurement machine:
+// a lone busy hyperthread adds 9 W, a busy sibling adds 9·(1−0.2522) ≈
+// 6.73 W, reproducing the 25.22% per-VM model error of Fig. 4a.
+func PentiumProfile() Profile {
+	return Profile{
+		Name:           "pentium",
+		PhysicalCores:  2,
+		ThreadsPerCore: 2,
+		IdlePower:      45,
+		UncorePower:    1.5,
+		Alpha:          7.5,
+		Beta:           0.7724, // gap = uncore+beta = 0.2522·(uncore+alpha): 25.22% model error
+		DeliveryFloor:  0.85,
+		DeliveryTau:    2,
+		MemoryGB:       8,
+		MemoryPowerMax: 2,
+		DiskPowerMax:   2,
+	}
+}
+
+// ErrOvercommit is returned when a coalition requests more vCPUs than the
+// machine has logical cores. The paper's deployments pin at most one vCPU
+// per logical core (Sec. V-B), and the simulator enforces the same.
+var ErrOvercommit = errors.New("machine: coalition vCPUs exceed logical cores")

@@ -1,0 +1,152 @@
+// Package rapl reads CPU package power from the Linux powercap sysfs
+// interface (Intel RAPL), the software power model the paper's Sec. II-A
+// discusses. It offers a real-hardware alternative to the simulated wall
+// meter where /sys/class/powercap is available; on machines without RAPL
+// every call fails gracefully with ErrUnavailable so callers can fall back
+// to the simulator.
+package rapl
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultSysfsRoot is the standard powercap mount point.
+const DefaultSysfsRoot = "/sys/class/powercap"
+
+// ErrUnavailable is returned when no RAPL domain can be read.
+var ErrUnavailable = errors.New("rapl: powercap interface unavailable")
+
+// Domain is one RAPL energy-counter domain (a CPU package).
+type Domain struct {
+	// Name is the domain label, e.g. "package-0".
+	Name string
+	// EnergyPath is the energy_uj counter file.
+	EnergyPath string
+	// MaxEnergyUJ is the counter wrap value (0 if unknown).
+	MaxEnergyUJ uint64
+}
+
+// Discover enumerates package-level RAPL domains under root (use
+// DefaultSysfsRoot in production; tests point at a fixture tree).
+func Discover(root string) ([]Domain, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	var domains []Domain
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "intel-rapl:") || strings.Count(e.Name(), ":") != 1 {
+			continue // only top-level package domains, not subzones
+		}
+		dir := filepath.Join(root, e.Name())
+		nameBytes, err := os.ReadFile(filepath.Join(dir, "name"))
+		if err != nil {
+			continue
+		}
+		d := Domain{
+			Name:       strings.TrimSpace(string(nameBytes)),
+			EnergyPath: filepath.Join(dir, "energy_uj"),
+		}
+		if maxBytes, err := os.ReadFile(filepath.Join(dir, "max_energy_range_uj")); err == nil {
+			if v, err := strconv.ParseUint(strings.TrimSpace(string(maxBytes)), 10, 64); err == nil {
+				d.MaxEnergyUJ = v
+			}
+		}
+		if _, err := readCounter(d.EnergyPath); err == nil {
+			domains = append(domains, d)
+		}
+	}
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("%w: no readable package domains under %s", ErrUnavailable, root)
+	}
+	return domains, nil
+}
+
+func readCounter(path string) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("rapl: parse %s: %w", path, err)
+	}
+	return v, nil
+}
+
+// Reader derives power from successive energy-counter readings across all
+// discovered package domains. It is safe for concurrent use.
+type Reader struct {
+	domains []Domain
+
+	mu       sync.Mutex
+	lastUJ   []uint64
+	lastTime time.Time
+	primed   bool
+	now      func() time.Time
+}
+
+// NewReader builds a Reader over the domains found under root.
+func NewReader(root string) (*Reader, error) {
+	domains, err := Discover(root)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{domains: domains, now: time.Now}, nil
+}
+
+// Domains returns the discovered domains.
+func (r *Reader) Domains() []Domain {
+	out := make([]Domain, len(r.domains))
+	copy(out, r.domains)
+	return out
+}
+
+// Power returns the aggregate package power in watts, computed from the
+// energy consumed since the previous call. The first call primes the
+// counters and returns (0, nil). Counter wraparound is handled using
+// max_energy_range_uj when available.
+func (r *Reader) Power() (float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := make([]uint64, len(r.domains))
+	for i, d := range r.domains {
+		v, err := readCounter(d.EnergyPath)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+		cur[i] = v
+	}
+	now := r.now()
+	if !r.primed {
+		r.lastUJ = cur
+		r.lastTime = now
+		r.primed = true
+		return 0, nil
+	}
+	dt := now.Sub(r.lastTime).Seconds()
+	if dt <= 0 {
+		return 0, errors.New("rapl: non-positive sampling interval")
+	}
+	var totalUJ float64
+	for i, v := range cur {
+		prev := r.lastUJ[i]
+		var delta uint64
+		if v >= prev {
+			delta = v - prev
+		} else if wrap := r.domains[i].MaxEnergyUJ; wrap > 0 {
+			delta = wrap - prev + v
+		}
+		totalUJ += float64(delta)
+	}
+	r.lastUJ = cur
+	r.lastTime = now
+	return totalUJ / 1e6 / dt, nil
+}

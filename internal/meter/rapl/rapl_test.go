@@ -1,0 +1,170 @@
+package rapl
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// writeFixture builds a fake powercap tree with one package domain and
+// returns its root plus the energy_uj path.
+func writeFixture(t *testing.T, energyUJ, maxUJ uint64) (root, energyPath string) {
+	t.Helper()
+	root = t.TempDir()
+	dir := filepath.Join(root, "intel-rapl:0")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite("name", "package-0")
+	mustWrite("energy_uj", strconv.FormatUint(energyUJ, 10))
+	mustWrite("max_energy_range_uj", strconv.FormatUint(maxUJ, 10))
+	// A subzone that must be ignored.
+	sub := filepath.Join(root, "intel-rapl:0:0")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "name"), []byte("core\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root, filepath.Join(dir, "energy_uj")
+}
+
+func setEnergy(t *testing.T, path string, uj uint64) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strconv.FormatUint(uj, 10)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	root, _ := writeFixture(t, 1000, 1<<40)
+	domains, err := Discover(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 1 {
+		t.Fatalf("found %d domains, want 1 (subzones ignored)", len(domains))
+	}
+	if domains[0].Name != "package-0" {
+		t.Fatalf("Name = %q", domains[0].Name)
+	}
+	if domains[0].MaxEnergyUJ != 1<<40 {
+		t.Fatalf("MaxEnergyUJ = %d", domains[0].MaxEnergyUJ)
+	}
+}
+
+func TestDiscoverUnavailable(t *testing.T) {
+	if _, err := Discover(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("missing root: %v", err)
+	}
+	if _, err := Discover(t.TempDir()); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("empty root: %v", err)
+	}
+}
+
+func TestReaderPower(t *testing.T) {
+	root, energyPath := writeFixture(t, 1_000_000, 1<<40)
+	r, err := NewReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	r.now = func() time.Time { return now }
+
+	// First call primes.
+	p, err := r.Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Fatalf("priming call = %g", p)
+	}
+
+	// +50 J over 2 s → 25 W.
+	setEnergy(t, energyPath, 51_000_000)
+	now = now.Add(2 * time.Second)
+	p, err = r.Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 25 {
+		t.Fatalf("Power = %g, want 25", p)
+	}
+}
+
+func TestReaderWraparound(t *testing.T) {
+	const wrap = 1 << 20
+	root, energyPath := writeFixture(t, wrap-1000, wrap)
+	r, err := NewReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	r.now = func() time.Time { return now }
+	if _, err := r.Power(); err != nil {
+		t.Fatal(err)
+	}
+	// Counter wraps: consumed 1000 + 500 µJ over 1 s.
+	setEnergy(t, energyPath, 500)
+	now = now.Add(time.Second)
+	p, err := r.Power()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1500e-6 / 1.0 / 1 // 1500 µJ in 1 s
+	if diff := p - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("wrapped power = %g, want %g", p, want)
+	}
+}
+
+func TestReaderZeroInterval(t *testing.T) {
+	root, _ := writeFixture(t, 1000, 1<<40)
+	r, err := NewReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := time.Unix(5, 0)
+	r.now = func() time.Time { return fixed }
+	if _, err := r.Power(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Power(); err == nil {
+		t.Fatal("want non-positive-interval error")
+	}
+}
+
+func TestReaderDomainsCopy(t *testing.T) {
+	root, _ := writeFixture(t, 1000, 1<<40)
+	r, err := NewReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := r.Domains()
+	ds[0].Name = "mutated"
+	if r.Domains()[0].Name != "package-0" {
+		t.Fatal("Domains must copy")
+	}
+}
+
+func TestReaderFileRemoved(t *testing.T) {
+	root, energyPath := writeFixture(t, 1000, 1<<40)
+	r, err := NewReader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(energyPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Power(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package serial implements the wire protocol of the paper's prototype
+// (Sec. VI-B, Fig. 9): server A's power meter streams readings over a
+// serial line to server B, which runs the estimation. Frames carry a
+// sequence number and a milliwatt power value, protected by a CRC-16/CCITT
+// checksum so line glitches surface as ErrBadFrame rather than silent
+// corruption. A TCP transport stands in for the physical RS-232 link.
+package serial
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"vmpower/internal/meter"
+)
+
+// Frame layout (big endian):
+//
+//	offset 0: magic 0xA5 0x5A (2 bytes)
+//	offset 2: sequence number  (8 bytes)
+//	offset 10: power, milliwatts (4 bytes, unsigned)
+//	offset 14: CRC-16/CCITT over bytes 0..13 (2 bytes)
+const (
+	frameSize = 16
+	magic0    = 0xA5
+	magic1    = 0x5A
+)
+
+// Errors surfaced by the codec.
+var (
+	// ErrBadFrame is returned for magic or checksum mismatches.
+	ErrBadFrame = errors.New("serial: corrupt frame")
+	// ErrPowerRange is returned when a power value cannot be encoded.
+	ErrPowerRange = errors.New("serial: power out of encodable range")
+)
+
+// crc16 computes CRC-16/CCITT-FALSE over data.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// maxMilliwatts is the largest encodable power (~4.29 MW) — far beyond any
+// single machine, so overflow indicates caller error.
+const maxMilliwatts = math.MaxUint32
+
+// Encode serialises a sample into a frame.
+func Encode(s meter.Sample) ([]byte, error) {
+	if s.Power < 0 || math.IsNaN(s.Power) || s.Power*1000 > maxMilliwatts {
+		return nil, fmt.Errorf("%w: %g W", ErrPowerRange, s.Power)
+	}
+	buf := make([]byte, frameSize)
+	buf[0], buf[1] = magic0, magic1
+	binary.BigEndian.PutUint64(buf[2:], s.Seq)
+	binary.BigEndian.PutUint32(buf[10:], uint32(s.Power*1000+0.5))
+	binary.BigEndian.PutUint16(buf[14:], crc16(buf[:14]))
+	return buf, nil
+}
+
+// Decode parses one frame.
+func Decode(buf []byte) (meter.Sample, error) {
+	if len(buf) != frameSize {
+		return meter.Sample{}, fmt.Errorf("%w: length %d, want %d", ErrBadFrame, len(buf), frameSize)
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return meter.Sample{}, fmt.Errorf("%w: bad magic %#x %#x", ErrBadFrame, buf[0], buf[1])
+	}
+	if got, want := binary.BigEndian.Uint16(buf[14:]), crc16(buf[:14]); got != want {
+		return meter.Sample{}, fmt.Errorf("%w: crc %#04x, want %#04x", ErrBadFrame, got, want)
+	}
+	return meter.Sample{
+		Seq:   binary.BigEndian.Uint64(buf[2:]),
+		Power: float64(binary.BigEndian.Uint32(buf[10:])) / 1000,
+	}, nil
+}
+
+// Writer frames samples onto an io.Writer.
+type Writer struct{ w io.Writer }
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write encodes and writes one sample.
+func (sw *Writer) Write(s meter.Sample) error {
+	buf, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(buf); err != nil {
+		return fmt.Errorf("serial: write: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes a frame stream, resynchronising on the magic bytes after
+// corruption so one bad frame does not poison the rest of the stream.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Read returns the next valid sample. On a checksum failure it reports
+// ErrBadFrame once; the following Read resynchronises. io.EOF propagates.
+func (sr *Reader) Read() (meter.Sample, error) {
+	if err := sr.fill(frameSize); err != nil {
+		return meter.Sample{}, err
+	}
+	// Resynchronise: find the magic at the head of the buffer.
+	for !(sr.buf[0] == magic0 && sr.buf[1] == magic1) {
+		idx := -1
+		for i := 1; i+1 < len(sr.buf); i++ {
+			if sr.buf[i] == magic0 && sr.buf[i+1] == magic1 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Keep the final byte (possible magic0 prefix) and refill.
+			sr.buf = sr.buf[len(sr.buf)-1:]
+		} else {
+			sr.buf = sr.buf[idx:]
+		}
+		if err := sr.fill(frameSize); err != nil {
+			return meter.Sample{}, err
+		}
+	}
+	s, err := Decode(sr.buf[:frameSize])
+	if err != nil {
+		// Skip the bad magic so the next Read can resync past it.
+		sr.buf = sr.buf[2:]
+		return meter.Sample{}, err
+	}
+	sr.buf = sr.buf[frameSize:]
+	return s, nil
+}
+
+// fill ensures at least n buffered bytes.
+func (sr *Reader) fill(n int) error {
+	for len(sr.buf) < n {
+		chunk := make([]byte, 256)
+		m, err := sr.r.Read(chunk)
+		if m > 0 {
+			sr.buf = append(sr.buf, chunk[:m]...)
+		}
+		if err != nil {
+			if err == io.EOF && len(sr.buf) >= n {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}

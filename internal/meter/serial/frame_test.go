@@ -1,0 +1,197 @@
+package serial
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vmpower/internal/meter"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []meter.Sample{
+		{Seq: 0, Power: 0},
+		{Seq: 1, Power: 151.5},
+		{Seq: math.MaxUint64, Power: 0.001},
+		{Seq: 42, Power: 4096.25},
+	}
+	for _, want := range tests {
+		buf, err := Encode(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != frameSize {
+			t.Fatalf("frame size = %d", len(buf))
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq != want.Seq {
+			t.Fatalf("Seq = %d, want %d", got.Seq, want.Seq)
+		}
+		if math.Abs(got.Power-want.Power) > 0.0005 {
+			t.Fatalf("Power = %g, want %g", got.Power, want.Power)
+		}
+	}
+}
+
+func TestEncodeRange(t *testing.T) {
+	if _, err := Encode(meter.Sample{Power: -1}); !errors.Is(err, ErrPowerRange) {
+		t.Fatalf("negative: %v", err)
+	}
+	if _, err := Encode(meter.Sample{Power: math.NaN()}); !errors.Is(err, ErrPowerRange) {
+		t.Fatalf("nan: %v", err)
+	}
+	if _, err := Encode(meter.Sample{Power: 5e6}); !errors.Is(err, ErrPowerRange) {
+		t.Fatalf("overflow: %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 3)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short: %v", err)
+	}
+	good, _ := Encode(meter.Sample{Seq: 1, Power: 10})
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 0x00
+	if _, err := Decode(badMagic); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("magic: %v", err)
+	}
+	badCRC := append([]byte(nil), good...)
+	badCRC[5] ^= 0xFF
+	if _, err := Decode(badCRC); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("crc: %v", err)
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []meter.Sample{{Seq: 1, Power: 150}, {Seq: 2, Power: 151.2}, {Seq: 3, Power: 149.8}}
+	for _, s := range want {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for _, wantS := range want {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq != wantS.Seq {
+			t.Fatalf("Seq = %d, want %d", got.Seq, wantS.Seq)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReaderResyncAfterGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	// Leading garbage, then two valid frames.
+	buf.Write([]byte{0x01, 0x02, 0xA5, 0x99, 0x00})
+	w := NewWriter(&buf)
+	if err := w.Write(meter.Sample{Seq: 7, Power: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(meter.Sample{Seq: 8, Power: 101}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 {
+		t.Fatalf("resynced Seq = %d, want 7", got.Seq)
+	}
+	got, err = r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 8 {
+		t.Fatalf("second Seq = %d, want 8", got.Seq)
+	}
+}
+
+func TestReaderCorruptMidStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(meter.Sample{Seq: 1, Power: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupted frame: valid magic, broken payload.
+	frame, _ := Encode(meter.Sample{Seq: 2, Power: 100})
+	frame[6] ^= 0xFF
+	buf.Write(frame)
+	if err := w.Write(meter.Sample{Seq: 3, Power: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if got, err := r.Read(); err != nil || got.Seq != 1 {
+		t.Fatalf("first: %v %v", got, err)
+	}
+	if _, err := r.Read(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("want ErrBadFrame, got %v", err)
+	}
+	got, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 3 {
+		t.Fatalf("post-corruption Seq = %d, want 3", got.Seq)
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+	if got := crc16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("crc16 = %#04x, want 0x29b1", got)
+	}
+}
+
+// Property: encode/decode round-trips any in-range sample.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, rawPower uint32) bool {
+		want := meter.Sample{Seq: seq, Power: float64(rawPower) / 1000}
+		buf, err := Encode(want)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return got.Seq == want.Seq && math.Abs(got.Power-want.Power) < 0.0005
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping any single byte of a frame is detected.
+func TestCorruptionDetectionProperty(t *testing.T) {
+	base, err := Encode(meter.Sample{Seq: 123456, Power: 151.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos uint8, flip uint8) bool {
+		if flip == 0 {
+			return true
+		}
+		buf := append([]byte(nil), base...)
+		buf[int(pos)%len(buf)] ^= flip
+		_, err := Decode(buf)
+		return err != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package serial_test
+
+// End-to-end reproduction of the prototype's two-server layout (Fig. 9):
+// "server A" is the metered machine whose wall meter streams frames over
+// the link; "server B" runs the estimation framework, consuming samples
+// through the drain-to-latest StreamMeter adapter.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vmpower/internal/core"
+	"vmpower/internal/hypervisor"
+	"vmpower/internal/machine"
+	"vmpower/internal/meter"
+	"vmpower/internal/meter/serial"
+	"vmpower/internal/vm"
+	"vmpower/internal/workload"
+)
+
+func TestClientLatestDrainsToFreshest(t *testing.T) {
+	var power float64 = 100
+	src := func() (float64, error) { return power, nil }
+	m, err := meter.Perfect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serial.NewServer(m, 500*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := serial.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Let several frames queue up, then change the power; Latest must
+	// return a high sequence number (freshest), not the first queued.
+	time.Sleep(20 * time.Millisecond)
+	s1, err := client.Latest(5*time.Second, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Seq < 5 {
+		t.Fatalf("Latest returned early frame seq=%d", s1.Seq)
+	}
+	s2, err := client.Latest(5*time.Second, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Seq <= s1.Seq {
+		t.Fatalf("Latest did not advance: %d then %d", s1.Seq, s2.Seq)
+	}
+}
+
+func TestEstimatorOverSerialLink(t *testing.T) {
+	// Server A: the simulated machine with one Small VM and its meter.
+	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := vm.NewSet(vm.PaperCatalog(), []vm.VM{{Name: "only", Type: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := hypervisor.NewHost(mach, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wallMeter, err := meter.Perfect(host.PowerSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serial.NewServer(wallMeter, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Server B: the estimator, fed exclusively through the stream.
+	client, err := serial.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	stream := &serial.StreamMeter{Client: client, Drain: time.Millisecond}
+
+	est, err := core.New(host, stream, core.Config{
+		OfflineTicksPerCombo: 30,
+		IdleMeasureTicks:     5,
+		Seed:                 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.CollectOffline(); err != nil {
+		t.Fatal(err)
+	}
+	// Idle power travels the wire at millisecond cadence while the host
+	// is static, so it must land on the true 138 W (one phase-boundary
+	// sample may straddle the combo switch — allow a small band).
+	if got := est.IdlePower(); math.Abs(got-138) > 1.5 {
+		t.Fatalf("streamed idle power = %g, want ~138", got)
+	}
+
+	if err := host.Attach(0, workload.FloatPoint()); err != nil {
+		t.Fatal(err)
+	}
+	host.SetCoalition(vm.CoalitionOf(0))
+	host.Advance(1)
+	// Give the stream a moment to carry the new machine state.
+	time.Sleep(5 * time.Millisecond)
+	alloc, err := est.EstimateTick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One Small VM flat out draws 13 W above idle.
+	if math.Abs(alloc.PerVM[0]-13) > 2 {
+		t.Fatalf("streamed allocation = %g, want ~13", alloc.PerVM[0])
+	}
+}

@@ -1,0 +1,212 @@
+package serial
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vmpower/internal/meter"
+)
+
+// Server streams samples from a Meter to every connected client at a fixed
+// interval, standing in for the prototype's metered server A.
+type Server struct {
+	m        meter.Meter
+	interval time.Duration
+
+	mu       sync.Mutex
+	ln       net.Listener
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	started  bool
+	sampleWG sync.WaitGroup
+}
+
+// NewServer builds a streaming server over m. interval is the sampling
+// period (the paper uses 1 s; tests use much shorter).
+func NewServer(m meter.Meter, interval time.Duration) (*Server, error) {
+	if m == nil {
+		return nil, errors.New("serial: nil meter")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("serial: non-positive interval %v", interval)
+	}
+	return &Server{m: m, interval: interval}, nil
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and begins
+// serving. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return "", errors.New("serial: server already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serial: listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.ln = ln
+	s.cancel = cancel
+	s.started = true
+	s.wg.Add(1)
+	go s.acceptLoop(ctx, ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and waits for all connection goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil
+	}
+	s.cancel()
+	err := s.ln.Close()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop(ctx context.Context, ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(ctx, conn)
+		}()
+	}
+}
+
+// serve pushes samples to one client until the context ends or the write
+// fails. Dropped meter samples (meter.ErrDropout) are skipped silently,
+// matching the behaviour of a real 1 Hz meter that occasionally misses a
+// reading.
+func (s *Server) serve(ctx context.Context, conn net.Conn) {
+	w := NewWriter(conn)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			sample, err := s.m.Sample()
+			if err != nil {
+				if errors.Is(err, meter.ErrDropout) {
+					continue
+				}
+				return
+			}
+			if err := w.Write(sample); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Client reads a sample stream from a Server, standing in for the
+// estimating server B of the prototype.
+type Client struct {
+	conn net.Conn
+	r    *Reader
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("serial: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: NewReader(conn)}, nil
+}
+
+// Next returns the next valid sample, skipping corrupt frames.
+func (c *Client) Next() (meter.Sample, error) {
+	for {
+		s, err := c.r.Read()
+		if err == nil {
+			return s, nil
+		}
+		if errors.Is(err, ErrBadFrame) {
+			continue
+		}
+		return meter.Sample{}, err
+	}
+}
+
+// SetDeadline bounds how long Next may block.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// Latest returns the freshest sample on the wire: it waits up to wait for
+// a first frame, then keeps draining frames that arrive within drain of
+// each other and returns the newest. This is how a 1 Hz estimation loop
+// should consume a push stream — a slow consumer otherwise reads samples
+// that lag the machine state by the length of the socket buffer.
+func (c *Client) Latest(wait, drain time.Duration) (meter.Sample, error) {
+	if err := c.SetDeadline(time.Now().Add(wait)); err != nil {
+		return meter.Sample{}, fmt.Errorf("serial: set deadline: %w", err)
+	}
+	latest, err := c.Next()
+	if err != nil {
+		return meter.Sample{}, err
+	}
+	for {
+		if err := c.SetDeadline(time.Now().Add(drain)); err != nil {
+			return meter.Sample{}, fmt.Errorf("serial: set deadline: %w", err)
+		}
+		s, err := c.Next()
+		if err != nil {
+			if isTimeout(err) {
+				return latest, nil
+			}
+			return meter.Sample{}, err
+		}
+		latest = s
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// StreamMeter adapts a Client to the meter.Meter interface using
+// drain-to-latest semantics, so an estimator can plug directly into the
+// prototype's server-B side of the serial link.
+type StreamMeter struct {
+	// Client is the connected stream client.
+	Client *Client
+	// Wait bounds how long one Sample call may block for a first frame.
+	// Default 5 s.
+	Wait time.Duration
+	// Drain is the quiet period that ends the buffered-frame drain.
+	// Default 2 ms.
+	Drain time.Duration
+}
+
+// Sample implements meter.Meter.
+func (m *StreamMeter) Sample() (meter.Sample, error) {
+	wait := m.Wait
+	if wait <= 0 {
+		wait = 5 * time.Second
+	}
+	drain := m.Drain
+	if drain <= 0 {
+		drain = 2 * time.Millisecond
+	}
+	return m.Client.Latest(wait, drain)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,156 @@
+package serial
+
+import (
+	"testing"
+	"time"
+
+	"vmpower/internal/meter"
+)
+
+func testMeter(t *testing.T, power float64) meter.Meter {
+	t.Helper()
+	m, err := meter.Perfect(func() (float64, error) { return power, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, time.Millisecond); err == nil {
+		t.Fatal("want nil-meter error")
+	}
+	if _, err := NewServer(testMeter(t, 1), 0); err == nil {
+		t.Fatal("want non-positive-interval error")
+	}
+}
+
+func TestServerClientEndToEnd(t *testing.T) {
+	srv, err := NewServer(testMeter(t, 151.5), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	var lastSeq uint64
+	for i := 0; i < 5; i++ {
+		s, err := client.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Power != 151.5 {
+			t.Fatalf("Power = %g", s.Power)
+		}
+		if s.Seq <= lastSeq {
+			t.Fatalf("sequence not increasing: %d after %d", s.Seq, lastSeq)
+		}
+		lastSeq = s.Seq
+	}
+}
+
+func TestServerSkipsDropouts(t *testing.T) {
+	// A meter with heavy dropouts must still deliver a stream: the
+	// server skips lost samples rather than closing the connection.
+	sim, err := meter.NewSim(func() (float64, error) { return 100, nil },
+		meter.SimOptions{DropoutProb: 0.7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sim, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s, err := client.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Power != 100 {
+			t.Fatalf("Power = %g", s.Power)
+		}
+	}
+}
+
+func TestServerDoubleStartAndClose(t *testing.T) {
+	srv, err := NewServer(testMeter(t, 1), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("want already-started error")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing an unstarted server is a no-op.
+	srv2, _ := NewServer(testMeter(t, 1), time.Millisecond)
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("want connection-refused error")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	srv, err := NewServer(testMeter(t, 77), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for c := 0; c < 3; c++ {
+		client, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		s, err := client.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Power != 77 {
+			t.Fatalf("client %d: Power = %g", c, s.Power)
+		}
+		client.Close()
+	}
+}

@@ -1,0 +1,239 @@
+// Package powerd exposes a running power-accounting pipeline over
+// HTTP/JSON, the way a datacenter operator would consume it: live per-VM
+// allocations, a bounded history ring, and cumulative per-VM energy
+// counters for billing. The daemon in cmd/powerd mounts Handler on a
+// listener and drives Step at 1 Hz.
+package powerd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"vmpower/internal/core"
+	"vmpower/internal/hypervisor"
+)
+
+// AllocationJSON is the wire form of one tick's allocation.
+type AllocationJSON struct {
+	Tick          int                `json:"tick"`
+	MeasuredWatts float64            `json:"measured_watts"`
+	DynamicWatts  float64            `json:"dynamic_watts"`
+	Method        string             `json:"method"`
+	PerVM         map[string]float64 `json:"per_vm_watts"`
+}
+
+// StatusJSON is the wire form of the daemon status.
+type StatusJSON struct {
+	Calibrated bool     `json:"calibrated"`
+	IdleWatts  float64  `json:"idle_watts"`
+	VMs        []string `json:"vms"`
+	Ticks      int      `json:"ticks_estimated"`
+}
+
+// EnergyJSON is the wire form of the cumulative energy counters.
+type EnergyJSON struct {
+	Seconds int                `json:"seconds"`
+	PerVMWh map[string]float64 `json:"per_vm_wh"`
+	TotalWh float64            `json:"total_wh"`
+}
+
+// Server aggregates allocations and serves them.
+type Server struct {
+	est   *core.Estimator
+	names []string
+
+	mu       sync.RWMutex
+	latest   *AllocationJSON
+	lastSnap *hypervisor.Snapshot
+	lastPow  float64
+	history  []*AllocationJSON
+	histCap  int
+	energyWs map[string]float64
+	ticks    int
+}
+
+// InteractionsJSON is the wire form of the live interference matrix.
+type InteractionsJSON struct {
+	Tick int      `json:"tick"`
+	VMs  []string `json:"vms"`
+	// Watts[i][j] is the pairwise Shapley interaction of VMs i and j in
+	// watts (negative = interference), indexed like VMs.
+	Watts [][]float64 `json:"watts"`
+}
+
+// New builds a Server over a calibrated (or to-be-calibrated) estimator.
+// names maps VM IDs (by index) to the names exposed on the wire.
+func New(est *core.Estimator, names []string, historySize int) (*Server, error) {
+	if est == nil {
+		return nil, errors.New("powerd: nil estimator")
+	}
+	if len(names) != est.Host().Set().Len() {
+		return nil, fmt.Errorf("powerd: %d names for %d VMs", len(names), est.Host().Set().Len())
+	}
+	if historySize <= 0 {
+		historySize = 300
+	}
+	return &Server{
+		est:      est,
+		names:    append([]string(nil), names...),
+		histCap:  historySize,
+		energyWs: make(map[string]float64, len(names)),
+	}, nil
+}
+
+// Step advances the host clock one tick, estimates, and records the
+// result for the HTTP surface. It returns the raw allocation.
+func (s *Server) Step() (*core.Allocation, error) {
+	s.est.Host().Advance(1)
+	alloc, err := s.est.EstimateTick()
+	if err != nil {
+		return nil, err
+	}
+	snap := s.est.Host().Collect()
+	s.record(alloc)
+	s.mu.Lock()
+	s.lastSnap = &snap
+	s.lastPow = alloc.MeasuredPower
+	s.mu.Unlock()
+	return alloc, nil
+}
+
+func (s *Server) record(alloc *core.Allocation) {
+	wire := &AllocationJSON{
+		Tick:          alloc.Tick,
+		MeasuredWatts: alloc.MeasuredPower,
+		DynamicWatts:  alloc.DynamicPower,
+		Method:        alloc.Method,
+		PerVM:         make(map[string]float64, len(s.names)),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, name := range s.names {
+		w := alloc.PerVM[i]
+		if alloc.IdlePerVM != nil {
+			w += alloc.IdlePerVM[i]
+		}
+		wire.PerVM[name] = w
+		s.energyWs[name] += w
+	}
+	s.latest = wire
+	s.history = append(s.history, wire)
+	if len(s.history) > s.histCap {
+		s.history = s.history[len(s.history)-s.histCap:]
+	}
+	s.ticks++
+}
+
+// Handler returns the HTTP API:
+//
+//	GET /api/v1/status     — calibration state, idle power, VM list
+//	GET /api/v1/allocation — the most recent allocation
+//	GET /api/v1/history?n=K — the last K allocations (default all buffered)
+//	GET /api/v1/energy     — cumulative per-VM energy in watt-hours
+//	GET /api/v1/interactions — the live pairwise interference matrix
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/status", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/allocation", s.handleAllocation)
+	mux.HandleFunc("GET /api/v1/history", s.handleHistory)
+	mux.HandleFunc("GET /api/v1/energy", s.handleEnergy)
+	mux.HandleFunc("GET /api/v1/interactions", s.handleInteractions)
+	return mux
+}
+
+// handleInteractions serves the live pairwise interference matrix of the
+// most recent tick, computed from the same approximated worths the
+// allocation used.
+func (s *Server) handleInteractions(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	snap := s.lastSnap
+	power := s.lastPow
+	s.mu.RUnlock()
+	if snap == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "no tick yet"})
+		return
+	}
+	idx, err := s.est.Interactions(*snap, power)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, InteractionsJSON{
+		Tick:  snap.Tick,
+		VMs:   append([]string(nil), s.names...),
+		Watts: idx,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	ticks := s.ticks
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, StatusJSON{
+		Calibrated: s.est.Trained(),
+		IdleWatts:  s.est.IdlePower(),
+		VMs:        append([]string(nil), s.names...),
+		Ticks:      ticks,
+	})
+}
+
+func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	latest := s.latest
+	s.mu.RUnlock()
+	if latest == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "no allocation yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, latest)
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "n must be a positive integer"})
+			return
+		}
+		n = v
+	}
+	s.mu.RLock()
+	hist := s.history
+	if n > 0 && n < len(hist) {
+		hist = hist[len(hist)-n:]
+	}
+	out := make([]*AllocationJSON, len(hist))
+	copy(out, hist)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEnergy(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := EnergyJSON{
+		Seconds: s.ticks,
+		PerVMWh: make(map[string]float64, len(s.energyWs)),
+	}
+	for name, ws := range s.energyWs {
+		wh := ws / 3600
+		out.PerVMWh[name] = wh
+		out.TotalWh += wh
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,129 @@
+// Package pricing reproduces the paper's economic motivation: the Table I
+// comparison of electricity versus IT-hardware cost for a mid-level AWS
+// VM, and the per-tenant energy billing of the Fig. 1 scenario (two users
+// renting identical VMs but consuming different energy).
+package pricing
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Electricity prices used by the paper (2015 retail, USD per kWh).
+const (
+	// USPricePerKWh is the 2015 average US retail electricity price.
+	USPricePerKWh = 0.10409
+	// GermanyPricePerKWh is the 2015 German retail electricity price.
+	GermanyPricePerKWh = 0.19996
+)
+
+// HoursPerYear is the 24/7 datacenter duty cycle.
+const HoursPerYear = 8760
+
+// HardwareCycleYears is the IT-hardware update cycle the paper assumes.
+const HardwareCycleYears = 5
+
+// InstanceFamily is one row of Table I: a mid-level AWS instance family,
+// its supporting CPU's designed power and its IT hardware costs.
+type InstanceFamily struct {
+	Name string
+	// CPUDesignPowerW is the designed (TDP) power of the backing Xeon.
+	CPUDesignPowerW float64
+	// CPUCost, RAMCost and SSDCost are the hardware purchase costs (USD).
+	CPUCost float64
+	RAMCost float64
+	SSDCost float64
+}
+
+// PaperFamilies returns Table I's four instance families with the paper's
+// hardware cost figures. Design powers are chosen so the electricity
+// columns reproduce: 110.5 W × 8760 h × $0.10409/kWh ≈ $100.74/yr.
+func PaperFamilies() []InstanceFamily {
+	return []InstanceFamily{
+		{Name: "General Purpose", CPUDesignPowerW: 110.5, CPUCost: 310.4, RAMCost: 80, SSDCost: 26},
+		{Name: "Computed Optimized", CPUDesignPowerW: 115.33, CPUCost: 349, RAMCost: 40, SSDCost: 26},
+		{Name: "Memory Optimized", CPUDesignPowerW: 110.5, CPUCost: 310.4, RAMCost: 160, SSDCost: 26},
+		{Name: "Storage Optimized", CPUDesignPowerW: 110.5, CPUCost: 310.4, RAMCost: 160, SSDCost: 256},
+	}
+}
+
+// ElectricityCostPerYear returns the yearly electricity cost (USD) of a
+// load drawing powerW watts continuously at the given price per kWh.
+func ElectricityCostPerYear(powerW, pricePerKWh float64) float64 {
+	return powerW / 1000 * HoursPerYear * pricePerKWh
+}
+
+// TableIRow is one computed row of Table I.
+type TableIRow struct {
+	Family          InstanceFamily
+	ElectricityUSA  float64
+	ElectricityDE   float64
+	HardwarePerYear float64 // total hardware cost amortised over the cycle
+}
+
+// TableI computes the paper's Table I from the cost model.
+func TableI() []TableIRow {
+	fams := PaperFamilies()
+	rows := make([]TableIRow, len(fams))
+	for i, f := range fams {
+		rows[i] = TableIRow{
+			Family:          f,
+			ElectricityUSA:  ElectricityCostPerYear(f.CPUDesignPowerW, USPricePerKWh),
+			ElectricityDE:   ElectricityCostPerYear(f.CPUDesignPowerW, GermanyPricePerKWh),
+			HardwarePerYear: (f.CPUCost + f.RAMCost + f.SSDCost) / HardwareCycleYears,
+		}
+	}
+	return rows
+}
+
+// EnergyKWh integrates a power series (watts, one sample per periodSec
+// seconds) into kilowatt-hours.
+func EnergyKWh(powerW []float64, periodSec float64) (float64, error) {
+	if periodSec <= 0 {
+		return 0, fmt.Errorf("pricing: non-positive sample period %g", periodSec)
+	}
+	var joules float64
+	for _, p := range powerW {
+		if p < 0 {
+			return 0, fmt.Errorf("pricing: negative power sample %g", p)
+		}
+		joules += p * periodSec
+	}
+	return joules / 3.6e6, nil
+}
+
+// Bill is a tenant's energy charge.
+type Bill struct {
+	Tenant      string
+	EnergyKWh   float64
+	PricePerKWh float64
+	AmountUSD   float64
+}
+
+// ErrNoUsage is returned when billing an empty series.
+var ErrNoUsage = errors.New("pricing: empty power series")
+
+// BillEnergy prices a tenant's power series at 1 Hz sampling.
+func BillEnergy(tenant string, powerW []float64, pricePerKWh float64) (Bill, error) {
+	if len(powerW) == 0 {
+		return Bill{}, ErrNoUsage
+	}
+	if pricePerKWh < 0 {
+		return Bill{}, fmt.Errorf("pricing: negative price %g", pricePerKWh)
+	}
+	kwh, err := EnergyKWh(powerW, 1)
+	if err != nil {
+		return Bill{}, err
+	}
+	return Bill{
+		Tenant:      tenant,
+		EnergyKWh:   kwh,
+		PricePerKWh: pricePerKWh,
+		AmountUSD:   kwh * pricePerKWh,
+	}, nil
+}
+
+// String renders the bill.
+func (b Bill) String() string {
+	return fmt.Sprintf("%s: %.6f kWh × $%.4f/kWh = $%.6f", b.Tenant, b.EnergyKWh, b.PricePerKWh, b.AmountUSD)
+}

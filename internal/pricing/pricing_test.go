@@ -1,0 +1,106 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's Table I electricity figures, USD/yr.
+	wantUSA := []float64{100.74, 105.15, 100.74, 100.74}
+	wantDE := []float64{193.52, 201.94, 193.52, 193.52}
+	for i, row := range rows {
+		if math.Abs(row.ElectricityUSA-wantUSA[i]) > 0.25 {
+			t.Fatalf("%s USA = %.2f, want %.2f", row.Family.Name, row.ElectricityUSA, wantUSA[i])
+		}
+		if math.Abs(row.ElectricityDE-wantDE[i]) > 0.5 {
+			t.Fatalf("%s DE = %.2f, want %.2f", row.Family.Name, row.ElectricityDE, wantDE[i])
+		}
+	}
+	// The motivating observation: US electricity/yr is comparable to the
+	// amortised hardware cost (within ~2x either way).
+	gp := rows[0]
+	ratio := gp.ElectricityUSA / gp.HardwarePerYear
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("electricity/hardware ratio = %g", ratio)
+	}
+}
+
+func TestElectricityCostPerYear(t *testing.T) {
+	// 1 kW continuously at $0.10/kWh: 8760 kWh × 0.10 = $876.
+	if got := ElectricityCostPerYear(1000, 0.10); math.Abs(got-876) > 1e-9 {
+		t.Fatalf("cost = %g", got)
+	}
+	if got := ElectricityCostPerYear(0, 0.10); got != 0 {
+		t.Fatalf("zero power cost = %g", got)
+	}
+}
+
+func TestEnergyKWh(t *testing.T) {
+	// 3600 samples of 1000 W at 1 s = 1 kWh.
+	series := make([]float64, 3600)
+	for i := range series {
+		series[i] = 1000
+	}
+	kwh, err := EnergyKWh(series, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kwh-1) > 1e-12 {
+		t.Fatalf("EnergyKWh = %g, want 1", kwh)
+	}
+	if _, err := EnergyKWh(series, 0); err == nil {
+		t.Fatal("want period error")
+	}
+	if _, err := EnergyKWh([]float64{-1}, 1); err == nil {
+		t.Fatal("want negative-power error")
+	}
+	empty, err := EnergyKWh(nil, 1)
+	if err != nil || empty != 0 {
+		t.Fatalf("empty = %g, %v", empty, err)
+	}
+}
+
+func TestBillEnergy(t *testing.T) {
+	series := make([]float64, 3600)
+	for i := range series {
+		series[i] = 1000
+	}
+	bill, err := BillEnergy("tenant-a", series, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bill.Tenant != "tenant-a" {
+		t.Fatalf("Tenant = %q", bill.Tenant)
+	}
+	if math.Abs(bill.AmountUSD-0.2) > 1e-12 {
+		t.Fatalf("Amount = %g", bill.AmountUSD)
+	}
+	if !strings.Contains(bill.String(), "tenant-a") {
+		t.Fatalf("String = %q", bill.String())
+	}
+	if _, err := BillEnergy("x", nil, 0.2); !errors.Is(err, ErrNoUsage) {
+		t.Fatalf("want ErrNoUsage, got %v", err)
+	}
+	if _, err := BillEnergy("x", series, -1); err == nil {
+		t.Fatal("want negative-price error")
+	}
+}
+
+func TestPaperFamilies(t *testing.T) {
+	fams := PaperFamilies()
+	if len(fams) != 4 {
+		t.Fatalf("families = %d", len(fams))
+	}
+	for _, f := range fams {
+		if f.CPUDesignPowerW <= 0 || f.CPUCost <= 0 {
+			t.Fatalf("family %s has invalid figures", f.Name)
+		}
+	}
+}

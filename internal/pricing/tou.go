@@ -1,0 +1,103 @@
+package pricing
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TOU is a time-of-use electricity tariff: a peak price during the daily
+// [PeakStartHour, PeakEndHour) window and an off-peak price otherwise.
+// Datacenter operators face such tariffs, and per-VM power accounting is
+// what makes it possible to pass them through to tenants: the same kWh
+// costs more when a workload burns it at 2 pm than at 2 am.
+type TOU struct {
+	// PeakPricePerKWh and OffPeakPricePerKWh are USD per kWh.
+	PeakPricePerKWh    float64
+	OffPeakPricePerKWh float64
+	// PeakStartHour and PeakEndHour bound the daily peak window in
+	// [0, 24); the window may wrap past midnight (start > end).
+	PeakStartHour int
+	PeakEndHour   int
+}
+
+// Validate checks the tariff.
+func (t TOU) Validate() error {
+	if t.PeakPricePerKWh < 0 || t.OffPeakPricePerKWh < 0 {
+		return errors.New("pricing: negative tariff")
+	}
+	if t.PeakStartHour < 0 || t.PeakStartHour > 23 || t.PeakEndHour < 0 || t.PeakEndHour > 24 {
+		return fmt.Errorf("pricing: peak window [%d, %d) out of range", t.PeakStartHour, t.PeakEndHour)
+	}
+	return nil
+}
+
+// USSummerTOU is a representative 2015 US commercial summer tariff:
+// 16–21 h peak at roughly twice the off-peak rate.
+func USSummerTOU() TOU {
+	return TOU{
+		PeakPricePerKWh:    0.182,
+		OffPeakPricePerKWh: 0.089,
+		PeakStartHour:      16,
+		PeakEndHour:        21,
+	}
+}
+
+// inPeak reports whether the hour-of-day falls in the peak window,
+// handling windows that wrap midnight.
+func (t TOU) inPeak(hour int) bool {
+	if t.PeakStartHour == t.PeakEndHour {
+		return false // empty window
+	}
+	if t.PeakStartHour < t.PeakEndHour {
+		return hour >= t.PeakStartHour && hour < t.PeakEndHour
+	}
+	return hour >= t.PeakStartHour || hour < t.PeakEndHour
+}
+
+// PriceAt returns the tariff at the given second-of-day offset.
+func (t TOU) PriceAt(second int) float64 {
+	hour := second / 3600 % 24
+	if hour < 0 {
+		hour += 24
+	}
+	if t.inPeak(hour) {
+		return t.PeakPricePerKWh
+	}
+	return t.OffPeakPricePerKWh
+}
+
+// BillEnergyTOU prices a 1 Hz power series under the tariff, with the
+// first sample taken at startSecond seconds past midnight. It returns the
+// bill plus the peak-window share of the energy.
+func BillEnergyTOU(tenant string, powerW []float64, tariff TOU, startSecond int) (Bill, float64, error) {
+	if len(powerW) == 0 {
+		return Bill{}, 0, ErrNoUsage
+	}
+	if err := tariff.Validate(); err != nil {
+		return Bill{}, 0, err
+	}
+	var amount, totalKWh, peakKWh float64
+	for i, p := range powerW {
+		if p < 0 {
+			return Bill{}, 0, fmt.Errorf("pricing: negative power sample %g", p)
+		}
+		kwh := p / 3.6e6 // one watt-second in kWh
+		price := tariff.PriceAt(startSecond + i)
+		amount += kwh * price
+		totalKWh += kwh
+		if price == tariff.PeakPricePerKWh && tariff.inPeak((startSecond+i)/3600%24) {
+			peakKWh += kwh
+		}
+	}
+	bill := Bill{
+		Tenant:      tenant,
+		EnergyKWh:   totalKWh,
+		PricePerKWh: amount / totalKWh,
+		AmountUSD:   amount,
+	}
+	peakShare := 0.0
+	if totalKWh > 0 {
+		peakShare = peakKWh / totalKWh
+	}
+	return bill, peakShare, nil
+}

@@ -1,0 +1,107 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestTOUValidate(t *testing.T) {
+	if err := USSummerTOU().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []TOU{
+		{PeakPricePerKWh: -1},
+		{OffPeakPricePerKWh: -1},
+		{PeakStartHour: -1},
+		{PeakStartHour: 24},
+		{PeakEndHour: 25},
+	}
+	for i, tt := range bad {
+		if err := tt.Validate(); err == nil {
+			t.Fatalf("tariff %d: want validation error", i)
+		}
+	}
+}
+
+func TestTOUPriceAt(t *testing.T) {
+	tariff := TOU{PeakPricePerKWh: 0.2, OffPeakPricePerKWh: 0.1, PeakStartHour: 16, PeakEndHour: 21}
+	tests := []struct {
+		name   string
+		second int
+		want   float64
+	}{
+		{name: "midnight", second: 0, want: 0.1},
+		{name: "peak start", second: 16 * 3600, want: 0.2},
+		{name: "mid peak", second: 18*3600 + 1800, want: 0.2},
+		{name: "peak end", second: 21 * 3600, want: 0.1},
+		{name: "next day peak", second: 24*3600 + 17*3600, want: 0.2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tariff.PriceAt(tt.second); got != tt.want {
+				t.Fatalf("PriceAt(%d) = %g, want %g", tt.second, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTOUWrapsMidnight(t *testing.T) {
+	tariff := TOU{PeakPricePerKWh: 0.3, OffPeakPricePerKWh: 0.1, PeakStartHour: 22, PeakEndHour: 2}
+	if got := tariff.PriceAt(23 * 3600); got != 0.3 {
+		t.Fatalf("23h = %g", got)
+	}
+	if got := tariff.PriceAt(1 * 3600); got != 0.3 {
+		t.Fatalf("1h = %g", got)
+	}
+	if got := tariff.PriceAt(3 * 3600); got != 0.1 {
+		t.Fatalf("3h = %g", got)
+	}
+	empty := TOU{PeakPricePerKWh: 0.3, OffPeakPricePerKWh: 0.1, PeakStartHour: 5, PeakEndHour: 5}
+	if got := empty.PriceAt(5 * 3600); got != 0.1 {
+		t.Fatalf("empty window = %g", got)
+	}
+}
+
+func TestBillEnergyTOU(t *testing.T) {
+	tariff := TOU{PeakPricePerKWh: 0.2, OffPeakPricePerKWh: 0.1, PeakStartHour: 1, PeakEndHour: 2}
+	// Two hours of 1 kW starting at midnight: hour 0 off-peak
+	// (1 kWh × 0.1), hour 1 peak (1 kWh × 0.2).
+	series := make([]float64, 7200)
+	for i := range series {
+		series[i] = 1000
+	}
+	bill, peakShare, err := BillEnergyTOU("t", series, tariff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bill.EnergyKWh-2) > 1e-9 {
+		t.Fatalf("EnergyKWh = %g", bill.EnergyKWh)
+	}
+	if math.Abs(bill.AmountUSD-0.3) > 1e-9 {
+		t.Fatalf("Amount = %g, want 0.3", bill.AmountUSD)
+	}
+	if math.Abs(peakShare-0.5) > 1e-9 {
+		t.Fatalf("peak share = %g", peakShare)
+	}
+	// Same energy started at noon (all off-peak) is cheaper.
+	noon, _, err := BillEnergyTOU("t", series, tariff, 12*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noon.AmountUSD >= bill.AmountUSD {
+		t.Fatalf("off-peak bill %g should beat %g", noon.AmountUSD, bill.AmountUSD)
+	}
+}
+
+func TestBillEnergyTOUErrors(t *testing.T) {
+	if _, _, err := BillEnergyTOU("t", nil, USSummerTOU(), 0); !errors.Is(err, ErrNoUsage) {
+		t.Fatalf("want ErrNoUsage, got %v", err)
+	}
+	if _, _, err := BillEnergyTOU("t", []float64{-1}, USSummerTOU(), 0); err == nil {
+		t.Fatal("want negative-power error")
+	}
+	if _, _, err := BillEnergyTOU("t", []float64{1}, TOU{PeakPricePerKWh: -1}, 0); err == nil {
+		t.Fatal("want tariff error")
+	}
+}

@@ -1,0 +1,196 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"vmpower/internal/core"
+	"vmpower/internal/hypervisor"
+	"vmpower/internal/machine"
+	"vmpower/internal/meter"
+	"vmpower/internal/vm"
+	"vmpower/internal/workload"
+)
+
+func testEstimator(t *testing.T) (*hypervisor.Host, *core.Estimator) {
+	t.Helper()
+	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := vm.NewSet(vm.PaperCatalog(), []vm.VM{
+		{Name: "a", Type: 0}, {Name: "b", Type: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := hypervisor.NewHost(mach, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := meter.Perfect(host.PowerSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := core.New(host, m, core.Config{OfflineTicksPerCombo: 80, IdleMeasureTicks: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.CollectOffline(); err != nil {
+		t.Fatal(err)
+	}
+	return host, est
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{Tick: 1, Coalition: 0b11, States: [][]float64{{1, 0.1, 0}, {0.5, 0.2, 0.1}}, Power: 160.5},
+		{Tick: 2, Coalition: 0b01, States: [][]float64{{0.9, 0.1, 0}, {0, 0, 0}}, Power: 151},
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	if got[0].Tick != 1 || got[0].Power != 160.5 || got[1].Coalition != 0b01 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadSkipsBlankAndFailsCorrupt(t *testing.T) {
+	input := `{"tick":1,"coalition":1,"states":[[1,0,0]],"power":151}
+
+{"tick":2,"coalition":1,"states":[[0.5,0,0]],"power":145}
+`
+	recs, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records", len(recs))
+	}
+	if _, err := Read(strings.NewReader("not json\n")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	rec := Record{Tick: 1, Coalition: 1, States: [][]float64{{1, 0, 0}}, Power: 150}
+	if _, err := rec.Snapshot(2); err == nil {
+		t.Fatal("want state-count error")
+	}
+	bad := Record{Tick: 1, Coalition: 1, States: [][]float64{{1, 0}}, Power: 150}
+	if _, err := bad.Snapshot(1); err == nil {
+		t.Fatal("want component-count error")
+	}
+	outOfRange := Record{Tick: 1, Coalition: 1, States: [][]float64{{2, 0, 0}}, Power: 150}
+	if _, err := outOfRange.Snapshot(1); err == nil {
+		t.Fatal("want state-range error")
+	}
+	snap, err := rec.Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Coalition != vm.CoalitionOf(0) || snap.States[0][vm.CPU] != 1 {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+}
+
+// TestRecordThenReplayMatchesLive records a live run and re-estimates it
+// offline: the replayed allocations must match the live ones exactly
+// (the estimator is deterministic given states and power).
+func TestRecordThenReplayMatchesLive(t *testing.T) {
+	host, est := testEstimator(t)
+	if err := host.Attach(0, workload.GCC(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Attach(1, workload.Omnetpp(6)); err != nil {
+		t.Fatal(err)
+	}
+	host.SetCoalition(vm.GrandCoalition(2))
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var live [][]float64
+	const ticks = 10
+	for i := 0; i < ticks; i++ {
+		host.Advance(1)
+		snap := host.Collect()
+		power, err := host.TruePower()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteSnapshot(snap, power); err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := est.Estimate(snap, power)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, alloc.PerVM)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != ticks {
+		t.Fatalf("recorded %d ticks", len(recs))
+	}
+	idx := 0
+	if err := Replay(est, recs, func(alloc *core.Allocation) bool {
+		for i, p := range alloc.PerVM {
+			if math.Abs(p-live[idx][i]) > 1e-9 {
+				t.Fatalf("tick %d vm %d: replay %g vs live %g", idx, i, p, live[idx][i])
+			}
+		}
+		idx++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if idx != ticks {
+		t.Fatalf("replayed %d ticks", idx)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	_, est := testEstimator(t)
+	if err := Replay(nil, nil, nil); err == nil {
+		t.Fatal("want nil-estimator error")
+	}
+	bad := []Record{{Tick: 1, Coalition: 1, States: [][]float64{{1, 0, 0}}, Power: 150}}
+	if err := Replay(est, bad, nil); err == nil {
+		t.Fatal("want state-count error (host has 2 VMs)")
+	}
+	// Early stop.
+	good := []Record{
+		{Tick: 1, Coalition: 0b11, States: [][]float64{{1, 0, 0}, {0.5, 0, 0}}, Power: 160},
+		{Tick: 2, Coalition: 0b11, States: [][]float64{{1, 0, 0}, {0.5, 0, 0}}, Power: 160},
+	}
+	n := 0
+	if err := Replay(est, good, func(*core.Allocation) bool { n++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("early stop after %d", n)
+	}
+}

@@ -1,0 +1,127 @@
+package shapley
+
+import (
+	"fmt"
+	"math"
+
+	"vmpower/internal/vm"
+)
+
+// AxiomReport summarises how an allocation fares against the four Shapley
+// axioms for a given game. Checks that need the full worth table
+// (Symmetry, Dummy) enumerate 2^n coalitions.
+type AxiomReport struct {
+	// EfficiencyGap is Σ Φ_i − v(N); 0 for an efficient allocation.
+	EfficiencyGap float64
+	// SymmetryViolations lists pairs (i, j) that are symmetric in the game
+	// but received allocations differing by more than the tolerance.
+	SymmetryViolations [][2]vm.ID
+	// DummyViolations lists dummy players with non-zero allocations.
+	DummyViolations []vm.ID
+}
+
+// Ok reports whether no axiom was violated beyond tolerance.
+func (r *AxiomReport) Ok() bool {
+	return r.EfficiencyGap == 0 && len(r.SymmetryViolations) == 0 && len(r.DummyViolations) == 0
+}
+
+// String renders the report.
+func (r *AxiomReport) String() string {
+	return fmt.Sprintf("efficiency gap %.6g, %d symmetry violations, %d dummy violations",
+		r.EfficiencyGap, len(r.SymmetryViolations), len(r.DummyViolations))
+}
+
+// CheckAxioms evaluates Efficiency, Symmetry and Dummy for the allocation
+// phi against the game (n, worth) with the given tolerance. (Additivity is
+// a property across two games; see CheckAdditivity.)
+func CheckAxioms(n int, worth WorthFunc, phi []float64, tol float64) (*AxiomReport, error) {
+	if len(phi) != n {
+		return nil, fmt.Errorf("shapley: allocation has %d entries for %d players", len(phi), n)
+	}
+	table, err := Tabulate(n, worth)
+	if err != nil {
+		return nil, err
+	}
+	report := &AxiomReport{}
+
+	var sum float64
+	for _, p := range phi {
+		sum += p
+	}
+	if gap := sum - table[vm.GrandCoalition(n)]; math.Abs(gap) > tol {
+		report.EfficiencyGap = gap
+	}
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Symmetric(n, table, vm.ID(i), vm.ID(j), tol) && math.Abs(phi[i]-phi[j]) > tol {
+				report.SymmetryViolations = append(report.SymmetryViolations, [2]vm.ID{vm.ID(i), vm.ID(j)})
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if Dummy(n, table, vm.ID(i), tol) && math.Abs(phi[i]) > tol {
+			report.DummyViolations = append(report.DummyViolations, vm.ID(i))
+		}
+	}
+	return report, nil
+}
+
+// Symmetric reports whether players i and j are symmetric in the
+// tabulated game: v(S ∪ {i}) = v(S ∪ {j}) for every S excluding both.
+func Symmetric(n int, table []float64, i, j vm.ID, tol float64) bool {
+	total := vm.Coalition(1) << uint(n)
+	for s := vm.Coalition(0); s < total; s++ {
+		if s.Contains(i) || s.Contains(j) {
+			continue
+		}
+		if math.Abs(table[s.With(i)]-table[s.With(j)]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Dummy reports whether player i is a dummy in the tabulated game:
+// v(S ∪ {i}) − v(S) = 0 for every S excluding i.
+func Dummy(n int, table []float64, i vm.ID, tol float64) bool {
+	total := vm.Coalition(1) << uint(n)
+	for s := vm.Coalition(0); s < total; s++ {
+		if s.Contains(i) {
+			continue
+		}
+		if math.Abs(table[s.With(i)]-table[s]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckAdditivity verifies the Additivity axiom on a pair of games: the
+// Shapley value of the sum game v(S) = v1(S) + v2(S) must equal the sum of
+// the individual games' Shapley values (within tol). It returns the
+// maximum per-player deviation.
+func CheckAdditivity(n int, w1, w2 WorthFunc, tol float64) (float64, error) {
+	p1, err := Exact(n, w1)
+	if err != nil {
+		return 0, err
+	}
+	p2, err := Exact(n, w2)
+	if err != nil {
+		return 0, err
+	}
+	ps, err := Exact(n, func(s vm.Coalition) float64 { return w1(s) + w2(s) })
+	if err != nil {
+		return 0, err
+	}
+	var maxDev float64
+	for i := 0; i < n; i++ {
+		if d := math.Abs(ps[i] - (p1[i] + p2[i])); d > maxDev {
+			maxDev = d
+		}
+	}
+	if maxDev > tol {
+		return maxDev, fmt.Errorf("shapley: additivity violated by %g (tol %g)", maxDev, tol)
+	}
+	return maxDev, nil
+}

@@ -1,0 +1,114 @@
+package shapley
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vmpower/internal/vm"
+)
+
+func TestCheckAxiomsOnExact(t *testing.T) {
+	// The exact Shapley value of any game must pass all axiom checks.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(5)
+		table := randomGameTable(rng, n)
+		phi, err := ExactFromTable(n, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := CheckAxioms(n, func(s vm.Coalition) float64 { return table[s] }, phi, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !report.Ok() {
+			t.Fatalf("trial %d: exact Shapley fails axioms: %s", trial, report)
+		}
+	}
+}
+
+func TestCheckAxiomsDetectsViolations(t *testing.T) {
+	// The paper-game with the marginal-contribution allocation (13, 7):
+	// efficient but violates Symmetry.
+	report, err := CheckAxioms(2, paperGame, []float64{13, 7}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.EfficiencyGap != 0 {
+		t.Fatalf("marginal allocation is efficient, gap = %g", report.EfficiencyGap)
+	}
+	if len(report.SymmetryViolations) != 1 {
+		t.Fatalf("want 1 symmetry violation, got %d", len(report.SymmetryViolations))
+	}
+	// The power-model allocation (13, 13): symmetric but inefficient.
+	report, err = CheckAxioms(2, paperGame, []float64{13, 13}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.EfficiencyGap == 0 {
+		t.Fatal("power-model allocation must violate efficiency")
+	}
+	if len(report.SymmetryViolations) != 0 {
+		t.Fatal("power-model allocation is symmetric")
+	}
+	if report.Ok() {
+		t.Fatal("report must not be Ok")
+	}
+	if !strings.Contains(report.String(), "efficiency gap") {
+		t.Fatalf("String = %q", report.String())
+	}
+}
+
+func TestCheckAxiomsDummy(t *testing.T) {
+	// Player 1 is a dummy; giving it power must be flagged.
+	worth := func(s vm.Coalition) float64 {
+		if s.Contains(0) {
+			return 10
+		}
+		return 0
+	}
+	report, err := CheckAxioms(2, worth, []float64{9, 1}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.DummyViolations) != 1 || report.DummyViolations[0] != 1 {
+		t.Fatalf("DummyViolations = %v", report.DummyViolations)
+	}
+}
+
+func TestCheckAxiomsErrors(t *testing.T) {
+	if _, err := CheckAxioms(2, paperGame, []float64{1}, 1e-9); err == nil {
+		t.Fatal("want allocation-length error")
+	}
+}
+
+func TestSymmetricAndDummyHelpers(t *testing.T) {
+	table, err := Tabulate(2, paperGame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Symmetric(2, table, 0, 1, 1e-9) {
+		t.Fatal("paper game players are symmetric")
+	}
+	if Dummy(2, table, 0, 1e-9) {
+		t.Fatal("paper game players are not dummies")
+	}
+	// Null game: everyone is a dummy and all pairs symmetric.
+	null := make([]float64, 4)
+	if !Dummy(2, null, 0, 0) || !Symmetric(2, null, 0, 1, 0) {
+		t.Fatal("null game properties wrong")
+	}
+}
+
+func TestCheckAdditivity(t *testing.T) {
+	w1 := paperGame
+	w2 := func(s vm.Coalition) float64 { return 3 * float64(s.Size()) }
+	dev, err := CheckAdditivity(2, w1, w2, 1e-9)
+	if err != nil {
+		t.Fatalf("additivity must hold for exact Shapley: %v (dev %g)", err, dev)
+	}
+	if dev > 1e-9 {
+		t.Fatalf("deviation = %g", dev)
+	}
+}

@@ -1,0 +1,81 @@
+package shapley
+
+import (
+	"fmt"
+
+	"vmpower/internal/vm"
+)
+
+// InteractionIndex computes the pairwise Shapley interaction index
+// (Owen 1972 / Grabisch–Roubens) from a tabulated game:
+//
+//	I(i,j) = Σ_{S ⊆ N\{i,j}} |S|!(n−|S|−2)!/(n−1)! · Δ_ij(S)
+//	Δ_ij(S) = v(S∪{i,j}) − v(S∪{i}) − v(S∪{j}) + v(S)
+//
+// I(i,j) < 0 means players i and j are substitutes — together they
+// produce less than their separate contributions suggest. In the power
+// game that is exactly hardware interference: two VMs sharing a
+// hyperthreaded core or the machine's power-delivery budget draw less
+// power jointly than independently, so a strongly negative I(i,j) marks
+// the pairs whose co-location causes contention. I(i,j) > 0 marks
+// complements. The index is symmetric; the diagonal is left zero.
+//
+// The table must hold v over all 2^n coalitions (see Tabulate); the
+// computation is O(2^n · n²).
+func InteractionIndex(n int, table []float64) ([][]float64, error) {
+	if n < 2 || n > ExactMaxPlayers {
+		return nil, fmt.Errorf("%w: n=%d (need >= 2 for pairs)", ErrPlayers, n)
+	}
+	if len(table) != 1<<uint(n) {
+		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
+	}
+	// w[s] = s!(n-s-2)!/(n-1)! for coalition size s, via the same
+	// overflow-free form as Weights: 1/((n-1)·C(n-2, s)).
+	w := make([]float64, n-1)
+	for s := 0; s < n-1; s++ {
+		c := 1.0
+		for i := 0; i < s; i++ {
+			c = c * float64(n-2-i) / float64(i+1)
+		}
+		w[s] = 1 / (float64(n-1) * c)
+	}
+
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	total := vm.Coalition(1) << uint(n)
+	for s := vm.Coalition(0); s < total; s++ {
+		size := s.Size()
+		vs := table[s]
+		for i := 0; i < n; i++ {
+			if s.Contains(vm.ID(i)) {
+				continue
+			}
+			si := s.With(vm.ID(i))
+			vsi := table[si]
+			for j := i + 1; j < n; j++ {
+				if s.Contains(vm.ID(j)) {
+					continue
+				}
+				delta := table[si.With(vm.ID(j))] - vsi - table[s.With(vm.ID(j))] + vs
+				out[i][j] += w[size] * delta
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			out[i][j] = out[j][i]
+		}
+	}
+	return out, nil
+}
+
+// Interactions computes the index directly from a worth function.
+func Interactions(n int, worth WorthFunc) ([][]float64, error) {
+	table, err := Tabulate(n, worth)
+	if err != nil {
+		return nil, err
+	}
+	return InteractionIndex(n, table)
+}

@@ -1,0 +1,127 @@
+package shapley
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vmpower/internal/vm"
+)
+
+func TestInteractionAdditiveGameIsZero(t *testing.T) {
+	// No interaction terms in an additive game.
+	a := []float64{3, 1, 4, 1.5}
+	worth := func(s vm.Coalition) float64 {
+		var sum float64
+		for _, id := range s.Members() {
+			sum += a[int(id)]
+		}
+		return sum
+	}
+	idx, err := Interactions(len(a), worth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range idx {
+		for j := range idx[i] {
+			if math.Abs(idx[i][j]) > 1e-12 {
+				t.Fatalf("I(%d,%d) = %g, want 0", i, j, idx[i][j])
+			}
+		}
+	}
+}
+
+func TestInteractionPaperGame(t *testing.T) {
+	// The Table III game: v({i}) = 13, v({0,1}) = 20. The pair's
+	// interaction is Δ(∅) = 20 − 13 − 13 = −6: 6 W of HTT contention.
+	idx, err := Interactions(2, paperGame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(idx[0][1]-(-6)) > 1e-12 {
+		t.Fatalf("I(0,1) = %g, want -6", idx[0][1])
+	}
+	if idx[0][1] != idx[1][0] {
+		t.Fatal("index must be symmetric")
+	}
+	if idx[0][0] != 0 || idx[1][1] != 0 {
+		t.Fatal("diagonal must be zero")
+	}
+}
+
+func TestInteractionGloveGame(t *testing.T) {
+	// Player 0 (left glove) complements each right glove; the two right
+	// gloves are substitutes.
+	idx, err := Interactions(3, gloveGame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx[0][1] <= 0 || idx[0][2] <= 0 {
+		t.Fatalf("complements: I(0,1)=%g I(0,2)=%g, want > 0", idx[0][1], idx[0][2])
+	}
+	if idx[1][2] >= 0 {
+		t.Fatalf("substitutes: I(1,2)=%g, want < 0", idx[1][2])
+	}
+	if math.Abs(idx[0][1]-idx[0][2]) > 1e-12 {
+		t.Fatal("symmetric gloves must have equal interactions")
+	}
+}
+
+func TestInteractionErrors(t *testing.T) {
+	if _, err := Interactions(1, paperGame); err == nil {
+		t.Fatal("want n >= 2 error")
+	}
+	if _, err := InteractionIndex(2, []float64{0, 1, 2}); err == nil {
+		t.Fatal("want table-length error")
+	}
+	if _, err := Interactions(3, nil); err == nil {
+		t.Fatal("want nil-worth error")
+	}
+}
+
+// Property: for any game, Σ_j≠i I(i,j) relates to the difference between
+// player i's Shapley value and its average marginal... we assert the
+// cheaper invariants: symmetry and zero diagonal, plus additivity of the
+// index across summed games.
+func TestInteractionLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		t1 := randomGameTable(rng, n)
+		t2 := randomGameTable(rng, n)
+		sum := make([]float64, len(t1))
+		for i := range sum {
+			sum[i] = t1[i] + t2[i]
+		}
+		i1, err := InteractionIndex(n, t1)
+		if err != nil {
+			return false
+		}
+		i2, err := InteractionIndex(n, t2)
+		if err != nil {
+			return false
+		}
+		is, err := InteractionIndex(n, sum)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if is[i][i] != 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if math.Abs(is[i][j]-(i1[i][j]+i2[i][j])) > 1e-7 {
+					return false
+				}
+				if is[i][j] != is[j][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package shapley
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vmpower/internal/vm"
+)
+
+// MCOptions configures the Monte-Carlo permutation-sampling estimator.
+type MCOptions struct {
+	// Permutations is the number of random player orderings to sample.
+	// If TargetStdErr > 0 it is treated as the maximum; otherwise it is
+	// exact. Defaults to DefaultPermutations when zero.
+	Permutations int
+
+	// TargetStdErr, when positive, stops sampling early once the largest
+	// per-player standard error of the estimate falls below it (checked
+	// in batches of 32 permutations, after a minimum of 64).
+	TargetStdErr float64
+
+	// Antithetic pairs every sampled permutation with its reverse. The
+	// reverse of a uniform random permutation is also uniform, and for
+	// games with monotone position effects (early joiners pay the
+	// machine's wake-up costs, late joiners ride contention discounts)
+	// the paired marginals are negatively correlated, cutting variance
+	// at no extra worth-function cost. Each pair counts as two
+	// permutations toward the budget.
+	Antithetic bool
+
+	// Seed seeds the internal PRNG. The estimator never touches the
+	// global math/rand state.
+	Seed int64
+}
+
+// DefaultPermutations is the sample count used when MCOptions.Permutations
+// is zero. 200 permutations give ~2–3% error on the paper-scale games.
+const DefaultPermutations = 200
+
+// MCResult carries a Monte-Carlo Shapley estimate with uncertainty.
+type MCResult struct {
+	// Phi is the estimated Shapley value per player.
+	Phi []float64
+	// StdErr is the per-player standard error of Phi.
+	StdErr []float64
+	// Permutations is the number of orderings actually sampled.
+	Permutations int
+}
+
+// MonteCarlo estimates the Shapley value by sampling random permutations
+// of the players and averaging each player's marginal contribution in the
+// sampled order. Each sampled permutation's contributions sum to exactly
+// v(N) − v(∅), so the estimate satisfies Efficiency exactly (not just in
+// expectation); Symmetry and Dummy hold in expectation.
+//
+// The worth function is called n+1 times per permutation.
+func MonteCarlo(n int, worth WorthFunc, opts MCOptions) (*MCResult, error) {
+	if n < 1 || n > vm.MaxPlayers {
+		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	if worth == nil {
+		return nil, ErrNilWorth
+	}
+	perms := opts.Permutations
+	if perms <= 0 {
+		perms = DefaultPermutations
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	sum := make([]float64, n)
+	sumSq := make([]float64, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+
+	walk := func(ord []int) {
+		prefix := vm.EmptyCoalition
+		prev := worth(prefix)
+		for _, p := range ord {
+			prefix = prefix.With(vm.ID(p))
+			cur := worth(prefix)
+			d := cur - prev
+			sum[p] += d
+			sumSq[p] += d * d
+			prev = cur
+		}
+	}
+
+	const (
+		batch   = 32
+		minDone = 64
+	)
+	done := 0
+	reversed := make([]int, n)
+	for done < perms {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		walk(order)
+		done++
+		if opts.Antithetic && done < perms {
+			for i, p := range order {
+				reversed[n-1-i] = p
+			}
+			walk(reversed)
+			done++
+		}
+		if opts.TargetStdErr > 0 && done >= minDone && done%batch == 0 {
+			if maxStdErr(sum, sumSq, done) <= opts.TargetStdErr {
+				break
+			}
+		}
+	}
+
+	res := &MCResult{
+		Phi:          make([]float64, n),
+		StdErr:       make([]float64, n),
+		Permutations: done,
+	}
+	for i := 0; i < n; i++ {
+		mean := sum[i] / float64(done)
+		res.Phi[i] = mean
+		res.StdErr[i] = stdErr(sum[i], sumSq[i], done)
+	}
+	return res, nil
+}
+
+func stdErr(sum, sumSq float64, n int) float64 {
+	if n < 2 {
+		return math.Inf(1)
+	}
+	mean := sum / float64(n)
+	variance := (sumSq - float64(n)*mean*mean) / float64(n-1)
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance / float64(n))
+}
+
+func maxStdErr(sum, sumSq []float64, n int) float64 {
+	var m float64
+	for i := range sum {
+		if se := stdErr(sum[i], sumSq[i], n); se > m {
+			m = se
+		}
+	}
+	return m
+}

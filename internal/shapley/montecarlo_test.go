@@ -1,0 +1,206 @@
+package shapley
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmpower/internal/vm"
+)
+
+func TestMonteCarloPaperGame(t *testing.T) {
+	res, err := MonteCarlo(2, paperGame, MCOptions{Permutations: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both orderings yield (13, 7) or (7, 13), so the estimate converges
+	// to (10, 10) and the efficiency sum is exact.
+	if math.Abs(res.Phi[0]+res.Phi[1]-20) > 1e-9 {
+		t.Fatalf("efficiency violated: %v", res.Phi)
+	}
+	if math.Abs(res.Phi[0]-10) > 1 {
+		t.Fatalf("Phi[0] = %g, want ~10", res.Phi[0])
+	}
+	if res.Permutations != 500 {
+		t.Fatalf("Permutations = %d", res.Permutations)
+	}
+}
+
+func TestMonteCarloEfficiencyExact(t *testing.T) {
+	// Every sampled permutation telescopes to v(N) − v(∅), so the MC
+	// estimate is exactly efficient for any game and sample count.
+	rng := rand.New(rand.NewSource(42))
+	n := 7
+	table := randomGameTable(rng, n)
+	worth := func(s vm.Coalition) float64 { return table[s] }
+	res, err := MonteCarlo(n, worth, MCOptions{Permutations: 17, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range res.Phi {
+		sum += p
+	}
+	grand := table[len(table)-1]
+	if math.Abs(sum-grand) > 1e-9*(1+grand) {
+		t.Fatalf("MC efficiency: sum %g vs grand %g", sum, grand)
+	}
+}
+
+func TestMonteCarloConvergesToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 8
+	table := randomGameTable(rng, n)
+	worth := func(s vm.Coalition) float64 { return table[s] }
+	exact, err := ExactFromTable(n, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MonteCarlo(n, worth, MCOptions{Permutations: 4000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if math.Abs(res.Phi[i]-exact[i]) > 2.5 { // values are O(50)
+			t.Fatalf("Phi[%d] = %g, exact %g", i, res.Phi[i], exact[i])
+		}
+		// The estimate should be within ~5 standard errors of exact.
+		if d := math.Abs(res.Phi[i] - exact[i]); d > 5*res.StdErr[i]+1e-9 {
+			t.Fatalf("Phi[%d] off by %g with stderr %g", i, d, res.StdErr[i])
+		}
+	}
+}
+
+func TestMonteCarloDeterministicSeed(t *testing.T) {
+	res1, err := MonteCarlo(5, paperGame5, MCOptions{Permutations: 50, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := MonteCarlo(5, paperGame5, MCOptions{Permutations: 50, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res1.Phi {
+		if res1.Phi[i] != res2.Phi[i] {
+			t.Fatal("same seed must give identical estimates")
+		}
+	}
+	res3, err := MonteCarlo(5, paperGame5, MCOptions{Permutations: 50, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range res1.Phi {
+		if res1.Phi[i] != res3.Phi[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different estimates")
+	}
+}
+
+// paperGame5 is a 5-player game with mild interactions for MC tests.
+func paperGame5(s vm.Coalition) float64 {
+	size := float64(s.Size())
+	return 10*size - 0.8*size*size
+}
+
+func TestMonteCarloEarlyStop(t *testing.T) {
+	// A deterministic additive game has zero-variance marginals, so the
+	// sampler must stop at the first convergence check.
+	worth := func(s vm.Coalition) float64 { return float64(s.Size()) }
+	res, err := MonteCarlo(4, worth, MCOptions{
+		Permutations: 10000,
+		TargetStdErr: 0.01,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Permutations >= 10000 {
+		t.Fatalf("no early stop: %d permutations", res.Permutations)
+	}
+	for i, p := range res.Phi {
+		if math.Abs(p-1) > 1e-12 {
+			t.Fatalf("Phi[%d] = %g, want 1", i, p)
+		}
+	}
+}
+
+func TestMonteCarloDefaults(t *testing.T) {
+	res, err := MonteCarlo(3, paperGame5, MCOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Permutations != DefaultPermutations {
+		t.Fatalf("default permutations = %d", res.Permutations)
+	}
+}
+
+func TestMonteCarloAntithetic(t *testing.T) {
+	// Antithetic pairs count two permutations and preserve efficiency.
+	rng := rand.New(rand.NewSource(13))
+	n := 8
+	table := randomGameTable(rng, n)
+	worth := func(s vm.Coalition) float64 { return table[s] }
+	res, err := MonteCarlo(n, worth, MCOptions{Permutations: 101, Antithetic: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Permutations != 101 {
+		t.Fatalf("Permutations = %d", res.Permutations)
+	}
+	var sum float64
+	for _, p := range res.Phi {
+		sum += p
+	}
+	grand := table[len(table)-1]
+	if math.Abs(sum-grand) > 1e-9*(1+grand) {
+		t.Fatalf("antithetic efficiency: %g vs %g", sum, grand)
+	}
+}
+
+func TestMonteCarloAntitheticReducesVariance(t *testing.T) {
+	// On a game with strong position effects, antithetic sampling should
+	// usually beat plain sampling at an equal permutation budget. Compare
+	// mean absolute error across seeds to avoid flakiness.
+	const n = 10
+	worth := func(s vm.Coalition) float64 {
+		size := float64(s.Size())
+		return 13*size - 0.9*size*size // concave: late joiners cheaper
+	}
+	exact, err := Exact(n, worth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae := func(antithetic bool) float64 {
+		var total float64
+		const trials = 12
+		for seed := int64(0); seed < trials; seed++ {
+			res, err := MonteCarlo(n, worth, MCOptions{Permutations: 60, Antithetic: antithetic, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range exact {
+				total += math.Abs(res.Phi[i] - exact[i])
+			}
+		}
+		return total / trials
+	}
+	plain := mae(false)
+	anti := mae(true)
+	if anti > plain {
+		t.Fatalf("antithetic MAE %g worse than plain %g", anti, plain)
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	if _, err := MonteCarlo(0, paperGame5, MCOptions{}); !errors.Is(err, ErrPlayers) {
+		t.Fatalf("n=0: %v", err)
+	}
+	if _, err := MonteCarlo(3, nil, MCOptions{}); !errors.Is(err, ErrNilWorth) {
+		t.Fatalf("nil worth: %v", err)
+	}
+}

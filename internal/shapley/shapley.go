@@ -1,0 +1,190 @@
+// Package shapley implements the cooperative-game machinery of the paper:
+// the exact Shapley value over a coalition worth function (Eq. 4), the
+// non-deterministic Shapley value over state-dependent worths (Eq. 7), and
+// a permutation-sampling Monte-Carlo estimator for large player counts.
+//
+// Worth functions are defined over vm.Coalition bitmasks. By the paper's
+// Remark 1 the worth of a coalition is the machine power with that
+// coalition running, minus the machine's idle power, so v(∅) = 0 is the
+// usual convention; the algorithms do not require it.
+package shapley
+
+import (
+	"errors"
+	"fmt"
+
+	"vmpower/internal/vm"
+)
+
+// WorthFunc gives the worth v(S) of a coalition (aggregated power, W).
+type WorthFunc func(vm.Coalition) float64
+
+// StateWorthFunc gives the non-deterministic worth v(S, C) of a coalition
+// under the member states in states (indexed by vm.ID; entries for
+// non-members are ignored). This is the v(S, C) of Eq. 6.
+type StateWorthFunc func(s vm.Coalition, states []vm.State) float64
+
+// Errors returned by the estimators.
+var (
+	ErrPlayers  = errors.New("shapley: player count out of range")
+	ErrNilWorth = errors.New("shapley: nil worth function")
+)
+
+// ExactMaxPlayers caps Exact's 2^n enumeration. Beyond this use MonteCarlo.
+const ExactMaxPlayers = vm.MaxPlayers
+
+// Weights returns the Shapley coalition weights for an n-player game:
+// Weights(n)[s] is the weight of a coalition of size s not containing the
+// player, i.e. s!(n-s-1)!/n! — equivalently 1/((n-s)·C(n,s)) as written in
+// the paper's Eq. 4.
+func Weights(n int) ([]float64, error) {
+	if n < 1 || n > ExactMaxPlayers {
+		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	w := make([]float64, n)
+	for s := 0; s < n; s++ {
+		// w[s] = s!(n-s-1)!/n!, computed multiplicatively to avoid
+		// factorial overflow: 1/(n * C(n-1, s)).
+		c := 1.0
+		for i := 0; i < s; i++ {
+			c = c * float64(n-1-i) / float64(i+1)
+		}
+		w[s] = 1 / (float64(n) * c)
+	}
+	return w, nil
+}
+
+// Exact computes the exact Shapley value Φ (Eq. 4) of an n-player game by
+// full 2^n enumeration. The worth function is evaluated exactly once per
+// coalition. Exact is O(2^n · n) time and O(2^n) space; the paper bounds
+// practical n at 16 (one VM per logical core on a 16-core Xeon).
+func Exact(n int, worth WorthFunc) ([]float64, error) {
+	table, err := Tabulate(n, worth)
+	if err != nil {
+		return nil, err
+	}
+	return ExactFromTable(n, table)
+}
+
+// Tabulate evaluates worth over all 2^n coalitions into a dense table
+// indexed by coalition bitmask.
+func Tabulate(n int, worth WorthFunc) ([]float64, error) {
+	if n < 1 || n > ExactMaxPlayers {
+		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	if worth == nil {
+		return nil, ErrNilWorth
+	}
+	table := make([]float64, 1<<uint(n))
+	for s := range table {
+		table[s] = worth(vm.Coalition(s))
+	}
+	return table, nil
+}
+
+// ExactFromTable computes the exact Shapley value from a pre-tabulated
+// worth table of length 2^n (table[mask] = v(mask)).
+func ExactFromTable(n int, table []float64) ([]float64, error) {
+	if n < 1 || n > ExactMaxPlayers {
+		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	if len(table) != 1<<uint(n) {
+		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
+	}
+	w, err := Weights(n)
+	if err != nil {
+		return nil, err
+	}
+	phi := make([]float64, n)
+	total := vm.Coalition(1) << uint(n)
+	for s := vm.Coalition(0); s < total; s++ {
+		vs := table[s]
+		size := s.Size()
+		for i := 0; i < n; i++ {
+			id := vm.ID(i)
+			if s.Contains(id) {
+				continue
+			}
+			phi[i] += w[size] * (table[s.With(id)] - vs)
+		}
+	}
+	return phi, nil
+}
+
+// NonDeterministic computes the non-deterministic Shapley value (Eq. 7):
+// the exact Shapley value of the game whose worth of coalition S is
+// v(S, C|S), the state-dependent worth under the members' current states.
+// states must have one entry per player (indexed by vm.ID).
+func NonDeterministic(n int, states []vm.State, worth StateWorthFunc) ([]float64, error) {
+	if worth == nil {
+		return nil, ErrNilWorth
+	}
+	if len(states) != n {
+		return nil, fmt.Errorf("shapley: %d states for %d players", len(states), n)
+	}
+	return Exact(n, func(s vm.Coalition) float64 {
+		return worth(s, states)
+	})
+}
+
+// Banzhaf computes the (raw) Banzhaf value from a tabulated game: each
+// player's average marginal contribution over all 2^(n−1) coalitions,
+// weighted uniformly rather than by coalition size. Unlike the Shapley
+// value it is NOT efficient — the shares need not sum to v(N) — which is
+// exactly why the paper's axiomatization rejects it for power accounting;
+// it is provided as a comparison rule (use NormalizeEfficient to rescale).
+func Banzhaf(n int, table []float64) ([]float64, error) {
+	if n < 1 || n > ExactMaxPlayers {
+		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	if len(table) != 1<<uint(n) {
+		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
+	}
+	phi := make([]float64, n)
+	total := vm.Coalition(1) << uint(n)
+	for s := vm.Coalition(0); s < total; s++ {
+		vs := table[s]
+		for i := 0; i < n; i++ {
+			id := vm.ID(i)
+			if s.Contains(id) {
+				continue
+			}
+			phi[i] += table[s.With(id)] - vs
+		}
+	}
+	scale := 1 / float64(uint64(1)<<uint(n-1))
+	for i := range phi {
+		phi[i] *= scale
+	}
+	return phi, nil
+}
+
+// NormalizeEfficient rescales an allocation so it sums to target (e.g.
+// the measured power), preserving proportions. An all-zero allocation is
+// returned unchanged.
+func NormalizeEfficient(phi []float64, target float64) []float64 {
+	var sum float64
+	for _, p := range phi {
+		sum += p
+	}
+	out := make([]float64, len(phi))
+	if sum == 0 {
+		return out
+	}
+	for i, p := range phi {
+		out[i] = p * target / sum
+	}
+	return out
+}
+
+// MarginalContribution returns v(S ∪ {i}) − v(S), player i's marginal
+// contribution to coalition S (i must not already be in S).
+func MarginalContribution(worth WorthFunc, s vm.Coalition, i vm.ID) (float64, error) {
+	if worth == nil {
+		return 0, ErrNilWorth
+	}
+	if s.Contains(i) {
+		return 0, fmt.Errorf("shapley: player %d already in coalition %s", i, s)
+	}
+	return worth(s.With(i)) - worth(s), nil
+}

@@ -1,0 +1,153 @@
+// Package trace records experiment time series and renders them as
+// aligned text tables or CSV, the formats cmd/experiments uses to
+// regenerate the paper's figures as data.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Series is one named time series sampled at 1 Hz ticks.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Append adds a sample.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Table is a set of equally indexed series (columns) — one figure's data.
+type Table struct {
+	// TickLabel names the index column (default "tick").
+	TickLabel string
+	Columns   []*Series
+}
+
+// NewTable creates a table with the given column names.
+func NewTable(names ...string) *Table {
+	t := &Table{TickLabel: "tick", Columns: make([]*Series, len(names))}
+	for i, n := range names {
+		t.Columns[i] = &Series{Name: n}
+	}
+	return t
+}
+
+// AppendRow adds one sample to every column. The value count must match
+// the column count.
+func (t *Table) AppendRow(values ...float64) error {
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("trace: row has %d values for %d columns", len(values), len(t.Columns))
+	}
+	for i, v := range values {
+		t.Columns[i].Append(v)
+	}
+	return nil
+}
+
+// Rows returns the number of complete rows (minimum column length).
+func (t *Table) Rows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	n := t.Columns[0].Len()
+	for _, c := range t.Columns[1:] {
+		if c.Len() < n {
+			n = c.Len()
+		}
+	}
+	return n
+}
+
+// Column returns the series with the given name.
+func (t *Table) Column(name string) (*Series, error) {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("trace: no column %q", name)
+}
+
+// WriteCSV writes the table with a header row and a leading tick column.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Columns)+1)
+	label := t.TickLabel
+	if label == "" {
+		label = "tick"
+	}
+	header = append(header, label)
+	for _, c := range t.Columns {
+		header = append(header, c.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	rows := t.Rows()
+	rec := make([]string, len(header))
+	for i := 0; i < rows; i++ {
+		rec[0] = strconv.Itoa(i)
+		for j, c := range t.Columns {
+			rec[j+1] = strconv.FormatFloat(c.Values[i], 'g', 8, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatText renders the table as an aligned text block, optionally
+// downsampled to at most maxRows rows (0 = all).
+func (t *Table) FormatText(maxRows int) string {
+	rows := t.Rows()
+	step := 1
+	if maxRows > 0 && rows > maxRows {
+		step = (rows + maxRows - 1) / maxRows
+	}
+	var sb strings.Builder
+	label := t.TickLabel
+	if label == "" {
+		label = "tick"
+	}
+	fmt.Fprintf(&sb, "%8s", label)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, " %14s", c.Name)
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < rows; i += step {
+		fmt.Fprintf(&sb, "%8d", i)
+		for _, c := range t.Columns {
+			fmt.Fprintf(&sb, " %14.4f", c.Values[i])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ErrShape is returned when series lengths are inconsistent.
+var ErrShape = errors.New("trace: inconsistent series lengths")
+
+// FromSeries builds a table from pre-built series, which must share a
+// common length.
+func FromSeries(series ...*Series) (*Table, error) {
+	if len(series) == 0 {
+		return NewTable(), nil
+	}
+	n := series[0].Len()
+	for _, s := range series[1:] {
+		if s.Len() != n {
+			return nil, fmt.Errorf("%w: %q has %d values, want %d", ErrShape, s.Name, s.Len(), n)
+		}
+	}
+	return &Table{TickLabel: "tick", Columns: series}, nil
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableAppendAndRows(t *testing.T) {
+	tbl := NewTable("a", "b")
+	if tbl.Rows() != 0 {
+		t.Fatalf("fresh Rows = %d", tbl.Rows())
+	}
+	if err := tbl.AppendRow(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendRow(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 2 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+	if err := tbl.AppendRow(1); err == nil {
+		t.Fatal("want arity error")
+	}
+	col, err := tbl.Column("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 2 || col.Values[1] != 4 {
+		t.Fatalf("column b = %v", col.Values)
+	}
+	if _, err := tbl.Column("zz"); err == nil {
+		t.Fatal("want unknown-column error")
+	}
+}
+
+func TestEmptyTableRows(t *testing.T) {
+	tbl := NewTable()
+	if tbl.Rows() != 0 {
+		t.Fatal("no columns means no rows")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := NewTable("power", "model")
+	if err := tbl.AppendRow(151.5, 150.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendRow(152.0, 151.1); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "tick,power,model\n0,151.5,150.9\n1,152,151.1\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestWriteCSVCustomLabel(t *testing.T) {
+	tbl := NewTable("x")
+	tbl.TickLabel = "second"
+	if err := tbl.AppendRow(1); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "second,x\n") {
+		t.Fatalf("CSV header = %q", sb.String())
+	}
+}
+
+func TestFormatText(t *testing.T) {
+	tbl := NewTable("v")
+	for i := 0; i < 100; i++ {
+		if err := tbl.AppendRow(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := tbl.FormatText(0)
+	if lines := strings.Count(full, "\n"); lines != 101 { // header + 100 rows
+		t.Fatalf("full text has %d lines", lines)
+	}
+	down := tbl.FormatText(10)
+	if lines := strings.Count(down, "\n"); lines > 12 {
+		t.Fatalf("downsampled text has %d lines", lines)
+	}
+	if !strings.Contains(down, "tick") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "x"
+	s.Append(1)
+	s.Append(2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestFromSeries(t *testing.T) {
+	a := &Series{Name: "a", Values: []float64{1, 2}}
+	b := &Series{Name: "b", Values: []float64{3, 4}}
+	tbl, err := FromSeries(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 2 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+	short := &Series{Name: "c", Values: []float64{5}}
+	if _, err := FromSeries(a, short); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	empty, err := FromSeries()
+	if err != nil || empty.Rows() != 0 {
+		t.Fatalf("FromSeries() = %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,390 @@
+// Package vhc implements the paper's Virtual Homogeneous VM Coalition
+// machinery (Sec. V-C): grouping the members of a coalition by VM type
+// into VHCs, aggregating their state vectors (v_j = Σ c_i, Eq. 8),
+// learning one linear power-mapping vector w_j per VHC and per VHC
+// combination from partially measured (state, power) samples (Def. 2), and
+// approximating any unobserved coalition worth as v(S,C) = Σ_j w_j·v_j
+// (Eqs. 9–10). Exact matches against previously measured states are served
+// from the v(S,C) table directly.
+package vhc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vmpower/internal/linalg"
+	"vmpower/internal/vm"
+)
+
+// ComboMask identifies a combination of VHCs: bit j set means VMs of type
+// j are present in the coalition. With r VM types there are 2^r combos.
+type ComboMask uint16
+
+// MaxTypes bounds the type count so combos stay enumerable; the paper
+// notes real platforms offer no more than ~5 types per machine.
+const MaxTypes = 12
+
+// Contains reports whether type t is present in the combo.
+func (c ComboMask) Contains(t vm.TypeID) bool { return c&(1<<uint(t)) != 0 }
+
+// Size returns the number of VHCs present.
+func (c ComboMask) Size() int { return bits.OnesCount16(uint16(c)) }
+
+// Types returns the present type IDs in ascending order.
+func (c ComboMask) Types() []vm.TypeID {
+	out := make([]vm.TypeID, 0, c.Size())
+	for m := uint16(c); m != 0; {
+		b := bits.TrailingZeros16(m)
+		out = append(out, vm.TypeID(b))
+		m &^= 1 << uint(b)
+	}
+	return out
+}
+
+// String renders the combo as a type list.
+func (c ComboMask) String() string {
+	ts := c.Types()
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = strconv.Itoa(int(t))
+	}
+	return "types{" + strings.Join(parts, ",") + "}"
+}
+
+// ComboFor returns the VHC combination of coalition mask within set.
+func ComboFor(set *vm.Set, mask vm.Coalition) ComboMask {
+	var c ComboMask
+	for _, t := range set.TypesPresent(mask) {
+		c |= 1 << uint(t)
+	}
+	return c
+}
+
+// Aggregate computes the per-VHC aggregated state vectors v_j = Σ c_i
+// (Eq. 8) for the members of mask, plus the coalition's combo.
+func Aggregate(set *vm.Set, mask vm.Coalition, states []vm.State) (ComboMask, map[vm.TypeID]vm.State, error) {
+	if len(states) != set.Len() {
+		return 0, nil, fmt.Errorf("vhc: %d states for %d VMs", len(states), set.Len())
+	}
+	agg := make(map[vm.TypeID]vm.State)
+	var combo ComboMask
+	for _, id := range mask.Members() {
+		v, err := set.VM(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		combo |= 1 << uint(v.Type)
+		agg[v.Type] = agg[v.Type].Add(states[int(id)])
+	}
+	return combo, agg, nil
+}
+
+// Features flattens the aggregated VHC vectors into the regression feature
+// vector for a combo: present types in ascending order, k components each.
+func Features(combo ComboMask, agg map[vm.TypeID]vm.State) []float64 {
+	types := combo.Types()
+	out := make([]float64, 0, len(types)*int(vm.NumComponents))
+	for _, t := range types {
+		s := agg[t]
+		out = append(out, s[:]...)
+	}
+	return out
+}
+
+// FeaturesFor is Aggregate followed by Features.
+func FeaturesFor(set *vm.Set, mask vm.Coalition, states []vm.State) (ComboMask, []float64, error) {
+	combo, agg, err := Aggregate(set, mask, states)
+	if err != nil {
+		return 0, nil, err
+	}
+	return combo, Features(combo, agg), nil
+}
+
+// Sample is one offline measurement: the features of a coalition state and
+// the measured aggregated power (idle deducted).
+type Sample struct {
+	Features []float64
+	Power    float64
+}
+
+// Errors returned by the approximator.
+var (
+	// ErrUntrained is returned when estimating a combo with no model.
+	ErrUntrained = errors.New("vhc: combination has no trained model")
+	// ErrNoSamples is returned when training a combo with no samples.
+	ErrNoSamples = errors.New("vhc: no samples")
+	// ErrFeatureLen is returned on feature-length mismatches.
+	ErrFeatureLen = errors.New("vhc: feature length mismatch")
+)
+
+// Options configures an Approximator.
+type Options struct {
+	// Resolution quantizes table keys (the paper uses 0.01). Non-positive
+	// disables the exact-match table, forcing pure regression.
+	Resolution float64
+	// RidgeLambda is the regularisation used when least squares is rank
+	// deficient (near-constant or all-zero feature columns). Default 1e-6.
+	RidgeLambda float64
+}
+
+// Approximator learns and serves v(S, C) per VHC combination.
+// It is safe for concurrent use after Train; AddSample and Train must not
+// race with Estimate.
+type Approximator struct {
+	numTypes   int
+	resolution float64
+	ridge      float64
+
+	mu      sync.RWMutex
+	samples map[ComboMask][]Sample
+	table   map[ComboMask]map[string]*tableEntry
+	weights map[ComboMask]linalg.Vector
+	diags   map[ComboMask]Diagnostics
+}
+
+// Diagnostics summarises one combo's fit quality, recorded at Train time.
+type Diagnostics struct {
+	// Samples is the number of training samples.
+	Samples int
+	// RMSE is the training residual root-mean-square error in watts.
+	RMSE float64
+	// MeanPower is the mean training power, so RMSE/MeanPower is a
+	// relative fit-quality figure.
+	MeanPower float64
+}
+
+// RelativeRMSE returns RMSE normalised by the mean training power
+// (0 when the combo never drew power).
+func (d Diagnostics) RelativeRMSE() float64 {
+	if d.MeanPower == 0 {
+		return 0
+	}
+	return d.RMSE / d.MeanPower
+}
+
+type tableEntry struct {
+	sum   float64
+	count int
+}
+
+func (e *tableEntry) mean() float64 { return e.sum / float64(e.count) }
+
+// New builds an Approximator over numTypes VM types.
+func New(numTypes int, opts Options) (*Approximator, error) {
+	if numTypes < 1 || numTypes > MaxTypes {
+		return nil, fmt.Errorf("vhc: numTypes %d outside [1,%d]", numTypes, MaxTypes)
+	}
+	ridge := opts.RidgeLambda
+	if ridge <= 0 {
+		ridge = 1e-6
+	}
+	return &Approximator{
+		numTypes:   numTypes,
+		resolution: opts.Resolution,
+		ridge:      ridge,
+		samples:    make(map[ComboMask][]Sample),
+		table:      make(map[ComboMask]map[string]*tableEntry),
+		weights:    make(map[ComboMask]linalg.Vector),
+		diags:      make(map[ComboMask]Diagnostics),
+	}, nil
+}
+
+// NumTypes returns r, the VM type count.
+func (a *Approximator) NumTypes() int { return a.numTypes }
+
+// Combos returns the number of non-empty VHC combinations (2^r − 1).
+func (a *Approximator) Combos() int { return 1<<uint(a.numTypes) - 1 }
+
+func (a *Approximator) featureLen(combo ComboMask) int {
+	return combo.Size() * int(vm.NumComponents)
+}
+
+func (a *Approximator) key(features []float64) string {
+	var sb strings.Builder
+	for i, f := range features {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		q := f
+		if a.resolution > 0 {
+			q = math.Round(f/a.resolution) * a.resolution
+		}
+		sb.WriteString(strconv.FormatFloat(q, 'f', 6, 64))
+	}
+	return sb.String()
+}
+
+// AddSample records one offline measurement for a combo.
+func (a *Approximator) AddSample(combo ComboMask, features []float64, power float64) error {
+	if combo == 0 {
+		return errors.New("vhc: cannot sample the empty combination")
+	}
+	if got, want := len(features), a.featureLen(combo); got != want {
+		return fmt.Errorf("%w: got %d, want %d for %s", ErrFeatureLen, got, want, combo)
+	}
+	f := append([]float64(nil), features...)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.samples[combo] = append(a.samples[combo], Sample{Features: f, Power: power})
+	if a.resolution > 0 {
+		k := a.key(f)
+		entries, ok := a.table[combo]
+		if !ok {
+			entries = make(map[string]*tableEntry)
+			a.table[combo] = entries
+		}
+		e, ok := entries[k]
+		if !ok {
+			e = &tableEntry{}
+			entries[k] = e
+		}
+		e.sum += power
+		e.count++
+	}
+	return nil
+}
+
+// SampleCount returns the number of samples recorded for a combo.
+func (a *Approximator) SampleCount(combo ComboMask) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.samples[combo])
+}
+
+// Train fits the mapping vector of every combo that has samples. Combos
+// whose regression fails (e.g. a single degenerate sample) are reported in
+// the returned error but do not prevent the others from training.
+func (a *Approximator) Train() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var failures []string
+	for combo, samples := range a.samples {
+		if err := a.trainComboLocked(combo, samples); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", combo, err))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("vhc: training failed for %d combos: %s", len(failures), strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+func (a *Approximator) trainComboLocked(combo ComboMask, samples []Sample) error {
+	if len(samples) == 0 {
+		return ErrNoSamples
+	}
+	cols := a.featureLen(combo)
+	rows := make([][]float64, len(samples))
+	b := make(linalg.Vector, len(samples))
+	for i, s := range samples {
+		rows[i] = s.Features
+		b[i] = s.Power
+	}
+	mat, err := linalg.MatrixFromRows(rows)
+	if err != nil {
+		return err
+	}
+	if mat.Cols() != cols {
+		return fmt.Errorf("%w: matrix has %d cols, want %d", ErrFeatureLen, mat.Cols(), cols)
+	}
+	w, err := linalg.LeastSquares(mat, b, a.ridge)
+	if err != nil {
+		return fmt.Errorf("least squares: %w", err)
+	}
+	a.weights[combo] = w
+	rmse, err := linalg.RMSE(mat, w, b)
+	if err != nil {
+		return fmt.Errorf("fit diagnostics: %w", err)
+	}
+	a.diags[combo] = Diagnostics{
+		Samples:   len(samples),
+		RMSE:      rmse,
+		MeanPower: b.Sum() / float64(len(b)),
+	}
+	return nil
+}
+
+// Diags returns a combo's fit diagnostics (recorded by Train).
+func (a *Approximator) Diags(combo ComboMask) (Diagnostics, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	d, ok := a.diags[combo]
+	if !ok {
+		return Diagnostics{}, fmt.Errorf("%w: %s", ErrUntrained, combo)
+	}
+	return d, nil
+}
+
+// Trained reports whether the combo has a fitted model.
+func (a *Approximator) Trained(combo ComboMask) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	_, ok := a.weights[combo]
+	return ok
+}
+
+// Weights returns a copy of the fitted mapping vector for a combo, laid
+// out as Features (present types ascending × components).
+func (a *Approximator) Weights(combo ComboMask) (linalg.Vector, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	w, ok := a.weights[combo]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUntrained, combo)
+	}
+	return w.Clone(), nil
+}
+
+// CPUWeights returns the CPU component of each present type's mapping
+// vector, in ascending type order — the w_j scalars the paper reports
+// (e.g. w1 = 9.42 for the homogeneous coalition).
+func (a *Approximator) CPUWeights(combo ComboMask) ([]float64, error) {
+	w, err := a.Weights(combo)
+	if err != nil {
+		return nil, err
+	}
+	k := int(vm.NumComponents)
+	out := make([]float64, combo.Size())
+	for i := range out {
+		out[i] = w[i*k+int(vm.CPU)]
+	}
+	return out, nil
+}
+
+// Estimate returns v(S, C) for the combo and feature vector: the table
+// mean if the (quantized) state was measured offline, otherwise the linear
+// approximation Σ_j w_j·v_j, clamped at zero. The empty combo is 0.
+func (a *Approximator) Estimate(combo ComboMask, features []float64) (float64, error) {
+	if combo == 0 {
+		return 0, nil
+	}
+	if got, want := len(features), a.featureLen(combo); got != want {
+		return 0, fmt.Errorf("%w: got %d, want %d for %s", ErrFeatureLen, got, want, combo)
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.resolution > 0 {
+		if entries, ok := a.table[combo]; ok {
+			if e, ok := entries[a.key(features)]; ok {
+				return e.mean(), nil
+			}
+		}
+	}
+	w, ok := a.weights[combo]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUntrained, combo)
+	}
+	p, err := w.Dot(features)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p, nil
+}

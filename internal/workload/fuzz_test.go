@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTraceFromCSV checks the trace parser never panics and only accepts
+// traces whose every sample validates.
+func FuzzTraceFromCSV(f *testing.F) {
+	f.Add("cpu,mem,disk\n0.5,0.1,0\n")
+	f.Add("0.5\n1.0\n")
+	f.Add("")
+	f.Add("a,b,c,d\n")
+	f.Add("0.5,0.5,0.5,0.5\n")
+	f.Add("1e999\n")
+	f.Add("NaN\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		tr, err := TraceFromCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(tr.Samples) == 0 {
+			t.Fatal("accepted an empty trace")
+		}
+		for i, s := range tr.Samples {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("sample %d invalid: %v", i, err)
+			}
+		}
+		// Replay must be panic-free at any tick.
+		_ = tr.StateAt(0)
+		_ = tr.StateAt(len(tr.Samples) * 3)
+		tr.Loop = true
+		_ = tr.StateAt(len(tr.Samples)*3 + 1)
+	})
+}
+
+// FuzzGeneratorTicks checks every built-in generator stays valid across
+// arbitrary seeds and ticks.
+func FuzzGeneratorTicks(f *testing.F) {
+	f.Add(int64(0), 0)
+	f.Add(int64(-1), 1<<20)
+	f.Add(int64(1234567), 42)
+	f.Fuzz(func(t *testing.T, seed int64, tick int) {
+		if tick < 0 {
+			tick = -tick
+		}
+		tick %= 1 << 22
+		for _, name := range Names() {
+			g, err := ByName(name, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.StateAt(tick).Validate(); err != nil {
+				t.Fatalf("%s(%d) at %d: %v", name, seed, tick, err)
+			}
+		}
+		d := Diurnal{Seed: seed}
+		if err := d.StateAt(tick).Validate(); err != nil {
+			t.Fatalf("diurnal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vmpower/internal/vm"
+)
+
+// Trace replays a recorded utilization series — the substitution point
+// for production VM traces: export per-second (cpu, mem, disk) samples
+// from any monitoring system as CSV and drive the accounting with them.
+type Trace struct {
+	// Label names the trace (Name() falls back to "trace").
+	Label string
+	// Samples is the recorded per-tick state series.
+	Samples []vm.State
+	// Loop wraps around at the end; otherwise the last sample holds.
+	Loop bool
+}
+
+// Name implements Generator.
+func (t Trace) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return "trace"
+}
+
+// StateAt implements Generator.
+func (t Trace) StateAt(tick int) vm.State {
+	n := len(t.Samples)
+	if n == 0 {
+		return vm.State{}
+	}
+	if tick < 0 {
+		tick = 0
+	}
+	if tick >= n {
+		if t.Loop {
+			tick %= n
+		} else {
+			tick = n - 1
+		}
+	}
+	return t.Samples[tick]
+}
+
+// ErrTraceFormat marks malformed trace CSV input.
+var ErrTraceFormat = errors.New("workload: malformed trace CSV")
+
+// TraceFromCSV parses a utilization trace: one row per second with 1–3
+// numeric columns (cpu[, mem[, disk]]), each in [0, 1]. A header row whose
+// first field is not numeric is skipped.
+func TraceFromCSV(label string, r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	trace := Trace{Label: label}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Trace{}, fmt.Errorf("%w: %v", ErrTraceFormat, err)
+		}
+		line++
+		if len(rec) < 1 || len(rec) > int(vm.NumComponents) {
+			return Trace{}, fmt.Errorf("%w: line %d has %d columns, want 1..%d", ErrTraceFormat, line, len(rec), vm.NumComponents)
+		}
+		var s vm.State
+		skip := false
+		for i, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				if line == 1 && i == 0 {
+					skip = true // header row
+					break
+				}
+				return Trace{}, fmt.Errorf("%w: line %d column %d: %v", ErrTraceFormat, line, i+1, err)
+			}
+			s[vm.Component(i)] = v
+		}
+		if skip {
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			return Trace{}, fmt.Errorf("%w: line %d: %v", ErrTraceFormat, line, err)
+		}
+		trace.Samples = append(trace.Samples, s)
+	}
+	if len(trace.Samples) == 0 {
+		return Trace{}, fmt.Errorf("%w: no samples", ErrTraceFormat)
+	}
+	return trace, nil
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vmpower/internal/vm"
+)
+
+func TestTraceReplay(t *testing.T) {
+	tr := Trace{Label: "prod", Samples: []vm.State{
+		{vm.CPU: 0.1}, {vm.CPU: 0.5}, {vm.CPU: 0.9},
+	}}
+	if tr.Name() != "prod" {
+		t.Fatalf("Name = %q", tr.Name())
+	}
+	if (Trace{}).Name() != "trace" {
+		t.Fatal("default name wrong")
+	}
+	if got := tr.StateAt(1)[vm.CPU]; got != 0.5 {
+		t.Fatalf("StateAt(1) = %g", got)
+	}
+	// Hold-last semantics without Loop.
+	if got := tr.StateAt(10)[vm.CPU]; got != 0.9 {
+		t.Fatalf("held StateAt(10) = %g", got)
+	}
+	if got := tr.StateAt(-3)[vm.CPU]; got != 0.1 {
+		t.Fatalf("negative tick = %g", got)
+	}
+	// Loop wraps.
+	tr.Loop = true
+	if got := tr.StateAt(4)[vm.CPU]; got != 0.5 {
+		t.Fatalf("looped StateAt(4) = %g", got)
+	}
+	// Empty trace idles.
+	if !(Trace{}).StateAt(0).IsIdle() {
+		t.Fatal("empty trace must idle")
+	}
+}
+
+func TestTraceFromCSV(t *testing.T) {
+	input := "cpu,mem,disk\n0.5,0.1,0\n1.0,0.2,0.05\n0.25\n"
+	tr, err := TraceFromCSV("t", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 3 {
+		t.Fatalf("parsed %d samples", len(tr.Samples))
+	}
+	if tr.Samples[0][vm.CPU] != 0.5 || tr.Samples[1][vm.Memory] != 0.2 {
+		t.Fatalf("samples = %v", tr.Samples)
+	}
+	// One-column rows leave mem/disk zero.
+	if tr.Samples[2][vm.CPU] != 0.25 || tr.Samples[2][vm.Memory] != 0 {
+		t.Fatalf("short row = %v", tr.Samples[2])
+	}
+}
+
+func TestTraceFromCSVNoHeader(t *testing.T) {
+	tr, err := TraceFromCSV("t", strings.NewReader("0.5\n0.7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 2 {
+		t.Fatalf("parsed %d samples", len(tr.Samples))
+	}
+}
+
+func TestTraceFromCSVErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{name: "empty", input: ""},
+		{name: "header only", input: "cpu\n"},
+		{name: "out of range", input: "1.5\n"},
+		{name: "negative", input: "-0.1\n"},
+		{name: "too many columns", input: "0.1,0.2,0.3,0.4\n"},
+		{name: "non-numeric mid-file", input: "0.5\nabc\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := TraceFromCSV("t", strings.NewReader(tc.input)); !errors.Is(err, ErrTraceFormat) {
+				t.Fatalf("want ErrTraceFormat, got %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vmpower/internal/vm"
+)
+
+func TestGeneratorsProduceValidStates(t *testing.T) {
+	for _, name := range Names() {
+		gen, err := ByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen.Name() != name {
+			t.Fatalf("Name = %q, want %q", gen.Name(), name)
+		}
+		for tick := 0; tick < 500; tick++ {
+			s := gen.StateAt(tick)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s tick %d: %v (state %v)", name, tick, err, s)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 1); err == nil {
+		t.Fatal("want unknown-benchmark error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		g1, _ := ByName(name, 7)
+		g2, _ := ByName(name, 7)
+		for tick := 0; tick < 100; tick++ {
+			if g1.StateAt(tick) != g2.StateAt(tick) {
+				t.Fatalf("%s: tick %d differs across identical generators", name, tick)
+			}
+		}
+	}
+}
+
+func TestSeedDecorrelation(t *testing.T) {
+	g1 := Synthetic{Seed: 1}
+	g2 := Synthetic{Seed: 2}
+	same := 0
+	for tick := 0; tick < 200; tick++ {
+		if g1.StateAt(tick) == g2.StateAt(tick) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds produced %d identical states", same)
+	}
+}
+
+func TestIdleAndConstant(t *testing.T) {
+	idle := Idle()
+	if !idle.StateAt(3).IsIdle() {
+		t.Fatal("Idle must produce the zero state")
+	}
+	want := vm.State{vm.CPU: 0.5, vm.Memory: 0.1}
+	c := Constant("c", want)
+	if c.StateAt(0) != want || c.StateAt(99) != want {
+		t.Fatal("Constant must hold its state")
+	}
+}
+
+func TestFloatPoint(t *testing.T) {
+	fp := FloatPoint()
+	s := fp.StateAt(0)
+	if s[vm.CPU] != 1 {
+		t.Fatalf("floatpoint CPU = %g, want 1", s[vm.CPU])
+	}
+	if s[vm.DiskIO] != 0 {
+		t.Fatal("floatpoint must not touch disk")
+	}
+}
+
+func TestSyntheticBounds(t *testing.T) {
+	g := Synthetic{Lo: 0.3, Hi: 0.6, Seed: 5}
+	for tick := 0; tick < 300; tick++ {
+		u := g.StateAt(tick)[vm.CPU]
+		if u < 0.3 || u > 0.6 {
+			t.Fatalf("tick %d: cpu %g outside [0.3, 0.6]", tick, u)
+		}
+	}
+	// Inverted bounds fall back to [0, 1].
+	inv := Synthetic{Lo: 0.9, Hi: 0.1, Seed: 5}
+	seenHigh := false
+	for tick := 0; tick < 300; tick++ {
+		if inv.StateAt(tick)[vm.CPU] > 0.9 {
+			seenHigh = true
+		}
+	}
+	if !seenHigh {
+		t.Fatal("inverted bounds should span [0,1]")
+	}
+}
+
+func TestSyntheticComponentSweeps(t *testing.T) {
+	g := Synthetic{Seed: 11}
+	var maxMem, maxDisk float64
+	for tick := 0; tick < 500; tick++ {
+		s := g.StateAt(tick)
+		if s[vm.Memory] > maxMem {
+			maxMem = s[vm.Memory]
+		}
+		if s[vm.DiskIO] > maxDisk {
+			maxDisk = s[vm.DiskIO]
+		}
+	}
+	if maxMem < 0.3 {
+		t.Fatalf("memory sweep too narrow: max %g", maxMem)
+	}
+	if maxDisk < 0.1 {
+		t.Fatalf("disk sweep too narrow: max %g", maxDisk)
+	}
+	// Negative bounds pin the components at zero (pure-CPU synthetic).
+	pure := Synthetic{MemHi: -1, DiskHi: -1, Seed: 11}
+	for tick := 0; tick < 100; tick++ {
+		s := pure.StateAt(tick)
+		if s[vm.Memory] != 0 || s[vm.DiskIO] != 0 {
+			t.Fatal("negative bounds must pin components at 0")
+		}
+	}
+}
+
+func TestSyntheticIdleProb(t *testing.T) {
+	g := Synthetic{Seed: 3, IdleProb: 0.5}
+	idles := 0
+	const n = 1000
+	for tick := 0; tick < n; tick++ {
+		if g.StateAt(tick).IsIdle() {
+			idles++
+		}
+	}
+	if idles < n/3 || idles > 2*n/3 {
+		t.Fatalf("idle fraction %d/%d far from 0.5", idles, n)
+	}
+	never := Synthetic{Seed: 3}
+	for tick := 0; tick < 200; tick++ {
+		if never.StateAt(tick).IsIdle() {
+			t.Fatal("IdleProb=0 must never idle (CPU floor > 0 almost surely)")
+		}
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := Step{Label: "u", Levels: []float64{0.2, 0.8}, Dwell: 10}
+	if s.Name() != "u" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if got := s.StateAt(0)[vm.CPU]; got != 0.2 {
+		t.Fatalf("tick 0 = %g", got)
+	}
+	if got := s.StateAt(10)[vm.CPU]; got != 0.8 {
+		t.Fatalf("tick 10 = %g", got)
+	}
+	if got := s.StateAt(20)[vm.CPU]; got != 0.2 {
+		t.Fatalf("tick 20 must wrap, got %g", got)
+	}
+	empty := Step{}
+	if empty.Name() != "step" {
+		t.Fatalf("default name = %q", empty.Name())
+	}
+	if !empty.StateAt(5).IsIdle() {
+		t.Fatal("empty schedule must idle")
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	d := Diurnal{PeriodSec: 200, Jitter: 0.0001, Seed: 1}
+	trough := d.StateAt(0)[vm.CPU]
+	peak := d.StateAt(100)[vm.CPU]
+	if trough > 0.2 {
+		t.Fatalf("trough = %g, want ~0.15", trough)
+	}
+	if peak < 0.8 {
+		t.Fatalf("peak = %g, want ~0.85", peak)
+	}
+	// The cycle repeats.
+	if got := d.StateAt(200)[vm.CPU]; got > 0.2 {
+		t.Fatalf("wrapped trough = %g", got)
+	}
+	// Defaults: inverted bounds fall back to 0.15..0.85.
+	def := Diurnal{Low: 0.9, High: 0.1, PeriodSec: 100, Jitter: 0.0001}
+	if got := def.StateAt(50)[vm.CPU]; got < 0.8 {
+		t.Fatalf("default-bounds peak = %g", got)
+	}
+	if (Diurnal{}).Name() != "diurnal" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestSPECSuite(t *testing.T) {
+	suite := SPECSuite(1)
+	if len(suite) != 7 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	wantOrder := []string{"gcc", "gobmk", "sjeng", "omnetpp", "namd", "wrf", "tonto"}
+	for i, g := range suite {
+		if g.Name() != wantOrder[i] {
+			t.Fatalf("suite[%d] = %q, want %q", i, g.Name(), wantOrder[i])
+		}
+	}
+}
+
+func TestSpecShapes(t *testing.T) {
+	// sjeng must be steadier than gcc; omnetpp must use more memory
+	// than sjeng — the variability classes the paper's suite provides.
+	variance := func(g Generator) float64 {
+		var sum, sumSq float64
+		const n = 400
+		for tick := 0; tick < n; tick++ {
+			u := g.StateAt(tick)[vm.CPU]
+			sum += u
+			sumSq += u * u
+		}
+		mean := sum / n
+		return sumSq/n - mean*mean
+	}
+	meanMem := func(g Generator) float64 {
+		var sum float64
+		const n = 400
+		for tick := 0; tick < n; tick++ {
+			sum += g.StateAt(tick)[vm.Memory]
+		}
+		return sum / n
+	}
+	if variance(Sjeng(1)) >= variance(GCC(1)) {
+		t.Fatal("sjeng should be steadier than gcc")
+	}
+	if meanMem(Omnetpp(1)) <= meanMem(Sjeng(1)) {
+		t.Fatal("omnetpp should be more memory-hungry than sjeng")
+	}
+}
+
+// Property: every generator at every tick yields a valid state.
+func TestStateValidityProperty(t *testing.T) {
+	f := func(seed int64, tick uint16) bool {
+		for _, name := range Names() {
+			g, err := ByName(name, seed)
+			if err != nil {
+				return false
+			}
+			if g.StateAt(int(tick)).Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package vmpower
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndReplayFacade(t *testing.T) {
+	sys, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunWorkload("web", "gcc", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunWorkload("db", "omnetpp", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace bytes.Buffer
+	if err := sys.StartRecording(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StartRecording(&trace); err == nil {
+		t.Fatal("want already-recording error")
+	}
+	var livePower []map[string]float64
+	const ticks = 6
+	if err := sys.Run(ticks, func(a *Allocation) bool {
+		livePower = append(livePower, a.Shares())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StopRecording(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StopRecording(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if trace.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if lines := strings.Count(trace.String(), "\n"); lines != ticks {
+		t.Fatalf("trace has %d lines, want %d", lines, ticks)
+	}
+
+	// Replaying the trace reproduces the live allocations exactly.
+	idx := 0
+	if err := sys.Replay(bytes.NewReader(trace.Bytes()), func(a *Allocation) bool {
+		for name, want := range livePower[idx] {
+			if got := a.Watts(name); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("tick %d %s: replay %g vs live %g", idx, name, got, want)
+			}
+		}
+		idx++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if idx != ticks {
+		t.Fatalf("replayed %d ticks", idx)
+	}
+}
+
+func TestSaveLoadCalibrationFacade(t *testing.T) {
+	sys, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveCalibration(&bytes.Buffer{}); err == nil {
+		t.Fatal("uncalibrated save must fail")
+	}
+	if err := sys.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	var model bytes.Buffer
+	if err := sys.SaveCalibration(&model); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadCalibration(bytes.NewReader(model.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Calibrated() {
+		t.Fatal("loaded system must be calibrated")
+	}
+	if err := fresh.RunWorkload("web", "floatpoint", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RunWorkload("worker", "floatpoint", 2); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := fresh.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alloc.Watts("web"); math.Abs(got-10) > 1.5 {
+		t.Fatalf("reloaded system share = %g, want ~10", got)
+	}
+}
+
+func TestReplayFacadeErrors(t *testing.T) {
+	sys, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StartRecording(nil); err == nil {
+		t.Fatal("want nil-writer error")
+	}
+	if err := sys.Replay(strings.NewReader("garbage\n"), nil); err == nil {
+		t.Fatal("want corrupt-trace error")
+	}
+	// A trace with the wrong VM count fails.
+	bad := `{"tick":1,"coalition":1,"states":[[1,0,0]],"power":150}` + "\n"
+	if err := sys.Replay(strings.NewReader(bad), nil); err == nil {
+		t.Fatal("want vm-count error")
+	}
+}

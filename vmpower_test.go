@@ -1,0 +1,360 @@
+package vmpower
+
+import (
+	"math"
+	"math/bits"
+	"strings"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{
+		Machine: Xeon16,
+		VMs: []VMSpec{
+			{Name: "web", Type: Small},
+			{Name: "worker", Type: Small},
+			{Name: "db", Type: Medium},
+		},
+		Seed:             1,
+		MeterNoise:       -1, // noiseless for crisp assertions
+		CalibrationTicks: 120,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{VMs: []VMSpec{{Name: "", Type: Small}}},
+		{VMs: []VMSpec{{Name: "a", Type: Small}, {Name: "a", Type: Small}}},
+		{VMs: []VMSpec{{Name: "a", Type: VMType(9)}}},
+		{Machine: MachineModel(5), VMs: []VMSpec{{Name: "a", Type: Small}}},
+		{VMs: []VMSpec{{Name: "a", Type: Small}}, IdleAttribution: "bogus"},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d: want error", i)
+		}
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	sys, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Calibrated() {
+		t.Fatal("must start uncalibrated")
+	}
+	if _, err := sys.Step(); err == nil {
+		t.Fatal("Step before Calibrate must fail")
+	}
+	if err := sys.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Calibrated() {
+		t.Fatal("Calibrated must be true")
+	}
+	if math.Abs(sys.IdlePower()-138) > 0.5 {
+		t.Fatalf("IdlePower = %g, want ~138", sys.IdlePower())
+	}
+
+	if err := sys.RunWorkload("web", "floatpoint", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunWorkload("worker", "floatpoint", 2); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := sys.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Method() != "exact" {
+		t.Fatalf("Method = %q", alloc.Method())
+	}
+	// Two identical fully-busy Smalls: the Table III result — each gets
+	// ~10 W of the 20 W pair, and the stopped db gets 0.
+	web, worker := alloc.Watts("web"), alloc.Watts("worker")
+	if math.Abs(web-worker) > 1e-9 {
+		t.Fatalf("symmetric shares differ: %g vs %g", web, worker)
+	}
+	if web < 9 || web > 11 {
+		t.Fatalf("share = %g, want ~10", web)
+	}
+	if alloc.Watts("db") != 0 {
+		t.Fatalf("stopped VM share = %g", alloc.Watts("db"))
+	}
+	if alloc.Watts("nope") != 0 {
+		t.Fatal("unknown VM must report 0")
+	}
+	// Efficiency against the meter.
+	var sum float64
+	for _, w := range alloc.Shares() {
+		sum += w
+	}
+	if math.Abs(sum-alloc.DynamicPower()) > 1e-9 {
+		t.Fatalf("Σ shares %g vs dynamic %g", sum, alloc.DynamicPower())
+	}
+	if alloc.MeasuredPower() <= alloc.DynamicPower() {
+		t.Fatal("measured power includes idle")
+	}
+	if alloc.Tick() <= 0 {
+		t.Fatalf("Tick = %d", alloc.Tick())
+	}
+}
+
+func TestStopAndLifecycle(t *testing.T) {
+	sys, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	sys.StartAll()
+	if err := sys.Stop("db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Stop("ghost"); err == nil {
+		t.Fatal("want unknown-VM error")
+	}
+	if err := sys.RunWorkload("ghost", "gcc", 1); err == nil {
+		t.Fatal("want unknown-VM error")
+	}
+	if err := sys.RunWorkload("web", "ghostbench", 1); err == nil {
+		t.Fatal("want unknown-benchmark error")
+	}
+	sys.StopAll()
+	alloc, err := sys.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.DynamicPower() != 0 {
+		t.Fatalf("all-stopped dynamic power = %g", alloc.DynamicPower())
+	}
+}
+
+func TestRunCallback(t *testing.T) {
+	sys, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunWorkload("web", "gcc", 3); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := sys.Run(4, func(a *Allocation) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("Run delivered %d", n)
+	}
+	n = 0
+	if err := sys.Run(4, func(a *Allocation) bool { n++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("early stop delivered %d", n)
+	}
+}
+
+func TestVMNamesAndWorkloads(t *testing.T) {
+	sys, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sys.VMNames()
+	if len(names) != 3 || names[0] != "web" {
+		t.Fatalf("VMNames = %v", names)
+	}
+	names[0] = "mutated"
+	if sys.VMNames()[0] != "web" {
+		t.Fatal("VMNames must copy")
+	}
+	found := false
+	for _, w := range Workloads() {
+		if w == "gcc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Workloads must list gcc")
+	}
+}
+
+func TestRunWorkloadTrace(t *testing.T) {
+	sys, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	csvData := "cpu\n1.0\n1.0\n0.0\n"
+	if err := sys.RunWorkloadTrace("web", "prod", strings.NewReader(csvData), false); err != nil {
+		t.Fatal(err)
+	}
+	// Tick 1 of the trace: full CPU → ~13 W.
+	alloc, err := sys.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alloc.Watts("web"); math.Abs(got-13) > 1.5 {
+		t.Fatalf("trace tick power = %g, want ~13", got)
+	}
+	// Past the end the last (idle) sample holds.
+	if _, err := sys.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Step(); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err = sys.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alloc.Watts("web"); got > 1 {
+		t.Fatalf("held idle sample power = %g", got)
+	}
+	if err := sys.RunWorkloadTrace("ghost", "x", strings.NewReader(csvData), false); err == nil {
+		t.Fatal("want unknown-VM error")
+	}
+	if err := sys.RunWorkloadTrace("web", "x", strings.NewReader("bogus\nrows\n"), false); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestExactShapleyFacade(t *testing.T) {
+	worth := func(members uint32) float64 {
+		switch bits.OnesCount32(members) {
+		case 0:
+			return 0
+		case 1:
+			return 13
+		default:
+			return 20
+		}
+	}
+	phi, err := ExactShapley(2, worth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi[0]-10) > 1e-12 || math.Abs(phi[1]-10) > 1e-12 {
+		t.Fatalf("ExactShapley = %v", phi)
+	}
+	if _, err := ExactShapley(2, nil); err == nil {
+		t.Fatal("want nil-worth error")
+	}
+}
+
+func TestMonteCarloShapleyFacade(t *testing.T) {
+	worth := func(members uint32) float64 { return float64(bits.OnesCount32(members)) * 3 }
+	phi, stderr, err := MonteCarloShapley(6, worth, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phi) != 6 || len(stderr) != 6 {
+		t.Fatalf("lengths = %d, %d", len(phi), len(stderr))
+	}
+	for i, p := range phi {
+		if math.Abs(p-3) > 1e-9 {
+			t.Fatalf("phi[%d] = %g, want 3", i, p)
+		}
+	}
+	if _, _, err := MonteCarloShapley(6, nil, 100, 1); err == nil {
+		t.Fatal("want nil-worth error")
+	}
+}
+
+func TestPowerCapFacade(t *testing.T) {
+	cfg := Config{
+		Machine: Xeon16,
+		VMs: []VMSpec{
+			{Name: "web", Type: Small},
+			{Name: "big", Type: XLarge},
+		},
+		Seed:             2,
+		MeterNoise:       -1,
+		CalibrationTicks: 120,
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunWorkload("web", "gcc", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunWorkload("big", "namd", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetPowerCap("ghost", 10); err == nil {
+		t.Fatal("want unknown-VM error")
+	}
+	const capW = 25.0
+	if err := sys.SetPowerCap("big", capW); err != nil {
+		t.Fatal(err)
+	}
+	// Settle, then check compliance.
+	if err := sys.Run(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	over := 0
+	if err := sys.Run(20, func(a *Allocation) bool {
+		if a.Watts("big") > capW*1.05 {
+			over++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if over > 3 {
+		t.Fatalf("capped VM above cap for %d/20 settled ticks", over)
+	}
+	// Removing the cap restores full power.
+	if err := sys.RemovePowerCap("big"); err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	if err := sys.Run(5, func(a *Allocation) bool { last = a.Watts("big"); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if last < capW {
+		t.Fatalf("power after cap removal = %g, want > %g", last, capW)
+	}
+	// RemovePowerCap with no controller is a no-op.
+	sys2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.RemovePowerCap("big"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdleAttributionFacade(t *testing.T) {
+	cfg := testConfig()
+	cfg.IdleAttribution = "equal"
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunWorkload("web", "floatpoint", 1); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := sys.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single running VM carries the entire idle power.
+	if got := alloc.Watts("web"); math.Abs(got-(alloc.MeasuredPower())) > 1e-9 {
+		t.Fatalf("web total = %g, measured %g", got, alloc.MeasuredPower())
+	}
+}
