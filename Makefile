@@ -13,6 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
+	$(GO) vet ./...
 	$(GO) test -race ./...
 
 bench:

@@ -179,6 +179,79 @@ func BenchmarkExactShapley(b *testing.B) {
 	}
 }
 
+// BenchmarkExactParallel contrasts the serial 2^n engine with the
+// sharded parallel engine at the paper's practical bound n = 16. The
+// parallel result is bit-for-bit identical at any worker count; on a
+// multi-core runner the parallelism=0 ("all cores") variant is the
+// headline speedup.
+func BenchmarkExactParallel(b *testing.B) {
+	const n = 16
+	worth := func(s vm.Coalition) float64 {
+		size := float64(s.Size())
+		return 13*size - 0.4*size*size
+	}
+	table, err := shapley.Tabulate(n, worth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := shapley.ExactFromTable(n, table); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, p := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("parallel=%d", p)
+		if p == 0 {
+			name = "parallel=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.ExactFromTableParallel(n, table, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// End-to-end including the 2^n tabulation (the dominant cost when
+	// the worth function is the VHC approximation rather than a table
+	// lookup).
+	b.Run("tabulate+accumulate/all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := shapley.ExactParallel(n, worth, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMonteCarloParallel contrasts serial and parallel permutation
+// sampling at n = 24 with the worth cache on (the production
+// configuration) — the estimate is identical at every worker count.
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	const n = 24
+	worth := func(s vm.Coalition) float64 {
+		size := float64(s.Size())
+		return 13*size - 0.3*size*size
+	}
+	for _, p := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("parallel=%d", p)
+		if p == 0 {
+			name = "parallel=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.MonteCarlo(n, worth, shapley.MCOptions{
+					Permutations: 256, Seed: 7, Parallelism: p,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMonteCarloShapley measures permutation sampling at n = 24
 // (beyond the exact method's practical range).
 func BenchmarkMonteCarloShapley(b *testing.B) {

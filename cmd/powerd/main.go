@@ -6,6 +6,7 @@
 // Usage:
 //
 //	powerd [-listen addr] [-vms name:type,...] [-interval dur] [-seed N]
+//	       [-parallelism N]
 //
 // Endpoints:
 //
@@ -23,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -52,6 +54,7 @@ func run() error {
 		history   = flag.Int("history", 600, "allocation history ring size")
 		saveModel = flag.String("save-model", "", "write the calibration model to this file after the offline phase")
 		loadModel = flag.String("load-model", "", "skip the offline phase and load a model written by -save-model")
+		par       = flag.Int("parallelism", 0, "Shapley engine workers (0 = all cores, 1 = serial); allocations are identical at any setting")
 	)
 	flag.Parse()
 
@@ -83,7 +86,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	est, err := core.New(host, m, core.Config{Seed: *seed})
+	parallelism := *par
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	est, err := core.New(host, m, core.Config{Seed: *seed, Parallelism: parallelism})
 	if err != nil {
 		return err
 	}

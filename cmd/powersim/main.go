@@ -5,6 +5,7 @@
 //
 //	powersim [-machine xeon16|pentium] [-vms spec,spec,...] [-ticks N]
 //	         [-seed N] [-idle none|equal|proportional] [-interval dur] [-csv]
+//	         [-parallelism N]
 //
 // Each VM spec is name:type with type one of small, medium, large, xlarge:
 //
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -43,6 +45,7 @@ func run() error {
 		interval    = flag.Duration("interval", 0, "wall-clock delay between ticks (0 = as fast as possible; 1s mimics the prototype)")
 		csv         = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		record      = flag.String("record", "", "write a replay trace (JSON lines) to this file; feed it to vmbill -replay")
+		par         = flag.Int("parallelism", 0, "Shapley engine workers (0 = all cores, 1 = serial); allocations are identical at any setting")
 	)
 	flag.Parse()
 
@@ -65,11 +68,16 @@ func run() error {
 		specs[i] = vmpower.VMSpec{Name: p.Name, Type: vmpower.VMType(p.Type)}
 	}
 
+	parallelism := *par
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	sys, err := vmpower.New(vmpower.Config{
 		Machine:         model,
 		VMs:             specs,
 		Seed:            *seed,
 		IdleAttribution: *idle,
+		Parallelism:     parallelism,
 	})
 	if err != nil {
 		return err

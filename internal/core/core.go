@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"vmpower/internal/hypervisor"
 	"vmpower/internal/meter"
@@ -90,6 +92,14 @@ type Config struct {
 	Classes *vhc.ClassMap
 	// RidgeLambda is passed to the VHC approximator. Default 1e-6.
 	RidgeLambda float64
+	// Parallelism is the worker count of the Shapley engine (exact
+	// tabulation/accumulation and Monte-Carlo sampling). 0 defaults to 1
+	// (serial, the paper's single-threaded pipeline); negative uses all
+	// cores (GOMAXPROCS); values >= 2 use that many workers. The
+	// allocation is a deterministic function of the snapshot and Seed at
+	// any setting: the engine's decomposition never depends on the
+	// worker count (see internal/shapley/parallel.go).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +114,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MCPermutations <= 0 {
 		c.MCPermutations = shapley.DefaultPermutations
+	}
+	switch {
+	case c.Parallelism == 0:
+		c.Parallelism = 1
+	case c.Parallelism < 0:
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -398,13 +414,18 @@ func (e *Estimator) Estimate(snap hypervisor.Snapshot, measuredTotal float64) (*
 	var err error
 	if n <= e.cfg.ExactMaxPlayers {
 		alloc.Method = "exact"
-		phi, err = shapley.Exact(n, worth)
+		if e.cfg.Parallelism == 1 {
+			phi, err = shapley.Exact(n, worth)
+		} else {
+			phi, err = shapley.ExactParallel(n, worth, e.cfg.Parallelism)
+		}
 	} else {
 		alloc.Method = "montecarlo"
 		var res *shapley.MCResult
 		res, err = shapley.MonteCarlo(n, worth, shapley.MCOptions{
 			Permutations: e.cfg.MCPermutations,
 			Seed:         e.cfg.Seed ^ int64(snap.Tick),
+			Parallelism:  e.cfg.Parallelism,
 		})
 		if res != nil {
 			phi = res.Phi
@@ -413,8 +434,8 @@ func (e *Estimator) Estimate(snap hypervisor.Snapshot, measuredTotal float64) (*
 	if err != nil {
 		return nil, err
 	}
-	if *worthErr != nil {
-		return nil, fmt.Errorf("core: worth evaluation: %w", *worthErr)
+	if werr := worthErr(); werr != nil {
+		return nil, fmt.Errorf("core: worth evaluation: %w", werr)
 	}
 	alloc.PerVM = phi
 	return e.attributeIdle(alloc), nil
@@ -423,13 +444,30 @@ func (e *Estimator) Estimate(snap hypervisor.Snapshot, measuredTotal float64) (*
 // buildWorth constructs the online coalition worth function for a
 // snapshot: the measured (idle-deducted) power for the running grand
 // coalition, 0 for the empty set, and the VHC approximation for proper
-// subsets; stopped VMs are dummies. The returned error pointer captures
-// the first evaluation failure (Shapley evaluates worths inside tight
-// loops that cannot return errors).
-func (e *Estimator) buildWorth(snap hypervisor.Snapshot, dyn float64) (shapley.WorthFunc, *error) {
+// subsets; stopped VMs are dummies. The returned func reports the first
+// evaluation failure (Shapley evaluates worths inside tight loops that
+// cannot return errors).
+//
+// Thread-safety: the returned WorthFunc satisfies the parallel Shapley
+// engine's contract (see internal/shapley/parallel.go). It only reads
+// immutable per-call state (the snapshot's coalition and state slice,
+// the VM set) and the trained vhc.Approximator, whose read path is
+// RWMutex-guarded; the error capture below is mutex-guarded. It is pure
+// as long as no AddSample/Train/Import runs concurrently — the online
+// estimation phase never retrains, which is exactly the contract the
+// engine needs.
+func (e *Estimator) buildWorth(snap hypervisor.Snapshot, dyn float64) (shapley.WorthFunc, func() error) {
 	set := e.host.Set()
 	running := snap.Coalition
-	worthErr := new(error)
+	var mu sync.Mutex
+	var worthErr error
+	capture := func(err error) {
+		mu.Lock()
+		if worthErr == nil {
+			worthErr = err
+		}
+		mu.Unlock()
+	}
 	worth := func(s vm.Coalition) float64 {
 		s &= running // stopped VMs are dummies
 		if s == running {
@@ -440,21 +478,21 @@ func (e *Estimator) buildWorth(snap hypervisor.Snapshot, dyn float64) (shapley.W
 		}
 		combo, features, err := vhc.ClassedFeaturesFor(set, s, snap.States, e.classes)
 		if err != nil {
-			if *worthErr == nil {
-				*worthErr = err
-			}
+			capture(err)
 			return 0
 		}
 		p, err := e.approx.Estimate(combo, features)
 		if err != nil {
-			if *worthErr == nil {
-				*worthErr = err
-			}
+			capture(err)
 			return 0
 		}
 		return p
 	}
-	return worth, worthErr
+	return worth, func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return worthErr
+	}
 }
 
 // Interactions computes the pairwise Shapley interaction index of the
@@ -477,8 +515,8 @@ func (e *Estimator) Interactions(snap hypervisor.Snapshot, measuredTotal float64
 	if err != nil {
 		return nil, err
 	}
-	if *worthErr != nil {
-		return nil, fmt.Errorf("core: interaction worth evaluation: %w", *worthErr)
+	if werr := worthErr(); werr != nil {
+		return nil, fmt.Errorf("core: interaction worth evaluation: %w", werr)
 	}
 	return idx, nil
 }
@@ -499,8 +537,8 @@ func (e *Estimator) Audit(snap hypervisor.Snapshot, measuredTotal, tol float64) 
 	if err != nil {
 		return nil, nil, err
 	}
-	if *worthErr != nil {
-		return nil, nil, fmt.Errorf("core: audit worth evaluation: %w", *worthErr)
+	if werr := worthErr(); werr != nil {
+		return nil, nil, fmt.Errorf("core: audit worth evaluation: %w", werr)
 	}
 	return report, alloc, nil
 }

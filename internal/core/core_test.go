@@ -598,6 +598,62 @@ func TestConcurrentEstimate(t *testing.T) {
 	wg.Wait()
 }
 
+func TestParallelismDeterministicAllocations(t *testing.T) {
+	// The Parallelism knob may change wall-clock time only: for a fixed
+	// seed and snapshot the allocation must be bit-for-bit identical at
+	// any worker count (the engine's decomposition is fixed; see
+	// internal/shapley/parallel.go). Exercise both the exact path and,
+	// via a lowered ExactMaxPlayers, the Monte-Carlo path.
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"exact", Config{Seed: 12}},
+		{"montecarlo", Config{Seed: 12, ExactMaxPlayers: 2, MCPermutations: 96}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			estimate := func(parallelism int) []float64 {
+				cfg := tc.cfg
+				cfg.Parallelism = parallelism
+				host, est := testRig(t, cfg)
+				if err := est.CollectOffline(); err != nil {
+					t.Fatal(err)
+				}
+				for _, id := range []vm.ID{0, 1, 2} {
+					if err := host.Attach(id, workload.FloatPoint()); err != nil {
+						t.Fatal(err)
+					}
+				}
+				host.SetCoalition(vm.CoalitionOf(0, 1, 2))
+				host.Advance(1)
+				alloc, err := est.EstimateTick()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return alloc.PerVM
+			}
+			ref := estimate(2)
+			for _, p := range []int{4, 7, -1} {
+				got := estimate(p)
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("parallelism %d: PerVM[%d] = %.17g, want %.17g", p, i, got[i], ref[i])
+					}
+				}
+			}
+			// The serial default may differ from the sharded reduction
+			// only in the last ulps.
+			serial := estimate(1)
+			for i := range ref {
+				scale := math.Max(1, math.Abs(ref[i]))
+				if math.Abs(serial[i]-ref[i]) > 1e-9*scale {
+					t.Fatalf("serial PerVM[%d] = %g, parallel %g", i, serial[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
 func TestIdleAttributionString(t *testing.T) {
 	if IdleNone.String() != "none" || IdleEqual.String() != "equal" || IdleProportional.String() != "proportional" {
 		t.Fatal("attribution names wrong")

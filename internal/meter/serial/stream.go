@@ -131,14 +131,34 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, r: NewReader(conn)}, nil
 }
 
-// Next returns the next valid sample, skipping corrupt frames.
+// ErrCorruptStream is returned by Next after MaxConsecutiveBadFrames
+// corrupt frames in a row — the line is noise, not a stream with
+// occasional glitches, and retrying further would spin the estimation
+// loop past its intended budget.
+var ErrCorruptStream = errors.New("serial: stream corrupt (too many consecutive bad frames)")
+
+// MaxConsecutiveBadFrames bounds how many corrupt frames Next skips
+// before giving up with ErrCorruptStream. A real line glitch clips one
+// or two frames; 64 in a row (a full second of 16-byte frames at the
+// prototype's rate) means the peer or the link is broken.
+const MaxConsecutiveBadFrames = 64
+
+// Next returns the next valid sample, skipping corrupt frames. A bounded
+// number of consecutive corrupt frames is tolerated (the CRC exists
+// exactly to ride out line glitches); past MaxConsecutiveBadFrames it
+// returns ErrCorruptStream instead of spinning on a garbage stream.
 func (c *Client) Next() (meter.Sample, error) {
+	bad := 0
 	for {
 		s, err := c.r.Read()
 		if err == nil {
 			return s, nil
 		}
 		if errors.Is(err, ErrBadFrame) {
+			bad++
+			if bad >= MaxConsecutiveBadFrames {
+				return meter.Sample{}, fmt.Errorf("%w: %d frames", ErrCorruptStream, bad)
+			}
 			continue
 		}
 		return meter.Sample{}, err

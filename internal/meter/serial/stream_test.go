@@ -1,6 +1,8 @@
 package serial
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -152,5 +154,70 @@ func TestMultipleClients(t *testing.T) {
 			t.Fatalf("client %d: Power = %g", c, s.Power)
 		}
 		client.Close()
+	}
+}
+
+// corruptFrames yields an endless stream of frames whose magic is intact
+// but whose CRC is wrong — the worst case for a resynchronising reader,
+// which reports ErrBadFrame once per frame forever.
+type corruptFrames struct{ frame []byte }
+
+func newCorruptFrames(t *testing.T) *corruptFrames {
+	t.Helper()
+	buf, err := Encode(meter.Sample{Seq: 1, Power: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xFF // break the CRC, keep the magic
+	return &corruptFrames{frame: buf}
+}
+
+func (c *corruptFrames) Read(p []byte) (int, error) {
+	n := 0
+	for n+len(c.frame) <= len(p) {
+		n += copy(p[n:], c.frame)
+	}
+	if n == 0 {
+		n = copy(p, c.frame[:len(p)])
+	}
+	return n, nil
+}
+
+func TestClientNextBadFrameCap(t *testing.T) {
+	// A peer emitting a continuous corrupt stream must not spin Next
+	// forever: after MaxConsecutiveBadFrames skips it surfaces the typed
+	// ErrCorruptStream instead.
+	c := &Client{r: NewReader(newCorruptFrames(t))}
+	_, err := c.Next()
+	if !errors.Is(err, ErrCorruptStream) {
+		t.Fatalf("Next on garbage stream: %v, want ErrCorruptStream", err)
+	}
+}
+
+func TestClientNextToleratesGlitchRuns(t *testing.T) {
+	// A glitch run shorter than the cap must still be skipped: corrupt
+	// frames followed by a valid one yield the valid sample, and the
+	// consecutive counter resets on success.
+	var buf bytes.Buffer
+	bad := newCorruptFrames(t).frame
+	for run := 0; run < 2; run++ {
+		for i := 0; i < MaxConsecutiveBadFrames-1; i++ {
+			buf.Write(bad)
+		}
+		good, err := Encode(meter.Sample{Seq: uint64(run), Power: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(good)
+	}
+	c := &Client{r: NewReader(&buf)}
+	for run := 0; run < 2; run++ {
+		s, err := c.Next()
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if s.Power != 42 {
+			t.Fatalf("run %d: Power = %g", run, s.Power)
+		}
 	}
 }

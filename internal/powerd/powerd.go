@@ -87,6 +87,14 @@ func New(est *core.Estimator, names []string, historySize int) (*Server, error) 
 
 // Step advances the host clock one tick, estimates, and records the
 // result for the HTTP surface. It returns the raw allocation.
+//
+// Step itself must be driven from a single goroutine (it mutates the
+// host clock), but it may run concurrently with any HTTP handler: the
+// tick's outputs — latest allocation, history, energy counters, and the
+// snapshot/power pair the interactions endpoint recomputes from — are
+// published in one critical section, so a concurrent request always
+// observes one coherent tick, never a fresh allocation paired with a
+// stale snapshot.
 func (s *Server) Step() (*core.Allocation, error) {
 	s.est.Host().Advance(1)
 	alloc, err := s.est.EstimateTick()
@@ -94,15 +102,13 @@ func (s *Server) Step() (*core.Allocation, error) {
 		return nil, err
 	}
 	snap := s.est.Host().Collect()
-	s.record(alloc)
-	s.mu.Lock()
-	s.lastSnap = &snap
-	s.lastPow = alloc.MeasuredPower
-	s.mu.Unlock()
+	s.record(alloc, &snap)
 	return alloc, nil
 }
 
-func (s *Server) record(alloc *core.Allocation) {
+// record atomically publishes one tick's allocation together with the
+// snapshot it was computed from.
+func (s *Server) record(alloc *core.Allocation, snap *hypervisor.Snapshot) {
 	wire := &AllocationJSON{
 		Tick:          alloc.Tick,
 		MeasuredWatts: alloc.MeasuredPower,
@@ -112,6 +118,8 @@ func (s *Server) record(alloc *core.Allocation) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.lastSnap = snap
+	s.lastPow = alloc.MeasuredPower
 	for i, name := range s.names {
 		w := alloc.PerVM[i]
 		if alloc.IdlePerVM != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"vmpower/internal/core"
@@ -242,6 +243,112 @@ func TestInteractionsEndpoint(t *testing.T) {
 	}
 	if out.Watts[0][0] != 0 || out.Watts[1][1] != 0 {
 		t.Fatal("diagonal must be zero")
+	}
+}
+
+func TestConcurrentStepAndHTTP(t *testing.T) {
+	// Drive Step from one goroutine while hammering every endpoint from
+	// several others. Under -race this flushes out unsynchronised state;
+	// in any mode it checks the tick-coherent publication contract: a
+	// reader must never see the interactions endpoint working from a
+	// snapshot newer than the tick counter it also published, and every
+	// observed allocation/interaction tick must be one Step actually
+	// produced.
+	srv, host := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, id := range []vm.ID{0, 1} {
+		if err := host.Attach(id, workload.FloatPoint()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host.SetCoalition(vm.CoalitionOf(0, 1))
+
+	const steps = 25
+	firstTick := make(chan int, 1)
+	stepErr := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < steps; i++ {
+			alloc, err := srv.Step()
+			if err != nil {
+				stepErr <- err
+				return
+			}
+			if i == 0 {
+				firstTick <- alloc.Tick
+			}
+		}
+	}()
+	lo := <-firstTick
+	hi := lo + steps - 1
+
+	// fetch is goroutine-safe (no t.Fatal off the test goroutine).
+	fetch := func(path string, out any) (int, error) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				var alloc AllocationJSON
+				if code, err := fetch("/api/v1/allocation", &alloc); err != nil || code != http.StatusOK {
+					t.Errorf("allocation: code %d, err %v", code, err)
+					return
+				}
+				if alloc.Tick < lo || alloc.Tick > hi {
+					t.Errorf("allocation tick %d outside stepped range [%d, %d]", alloc.Tick, lo, hi)
+					return
+				}
+				var ix InteractionsJSON
+				if code, err := fetch("/api/v1/interactions", &ix); err != nil || code != http.StatusOK {
+					t.Errorf("interactions: code %d, err %v", code, err)
+					return
+				}
+				if ix.Tick < lo || ix.Tick > hi {
+					t.Errorf("interactions tick %d outside stepped range [%d, %d]", ix.Tick, lo, hi)
+					return
+				}
+				for _, p := range []string{"/api/v1/energy", "/api/v1/history?n=3", "/api/v1/status"} {
+					if _, err := fetch(p, nil); err != nil {
+						t.Errorf("%s: %v", p, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	select {
+	case err := <-stepErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiesced: the published snapshot and allocation must agree on the
+	// final tick — the pairing the old two-lock publication could break.
+	var alloc AllocationJSON
+	getJSON(t, ts, "/api/v1/allocation", &alloc)
+	var ix InteractionsJSON
+	getJSON(t, ts, "/api/v1/interactions", &ix)
+	if alloc.Tick != hi || ix.Tick != hi {
+		t.Fatalf("post-quiesce ticks: allocation %d, interactions %d, want %d", alloc.Tick, ix.Tick, hi)
 	}
 }
 

@@ -140,7 +140,8 @@ func TestMonteCarloDefaults(t *testing.T) {
 }
 
 func TestMonteCarloAntithetic(t *testing.T) {
-	// Antithetic pairs count two permutations and preserve efficiency.
+	// Antithetic pairs count two permutations and preserve efficiency;
+	// an odd budget rounds up to a whole pair.
 	rng := rand.New(rand.NewSource(13))
 	n := 8
 	table := randomGameTable(rng, n)
@@ -149,8 +150,8 @@ func TestMonteCarloAntithetic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Permutations != 101 {
-		t.Fatalf("Permutations = %d", res.Permutations)
+	if res.Permutations != 102 {
+		t.Fatalf("Permutations = %d, want 102 (51 pairs)", res.Permutations)
 	}
 	var sum float64
 	for _, p := range res.Phi {
@@ -193,6 +194,41 @@ func TestMonteCarloAntitheticReducesVariance(t *testing.T) {
 	anti := mae(true)
 	if anti > plain {
 		t.Fatalf("antithetic MAE %g worse than plain %g", anti, plain)
+	}
+}
+
+func TestMonteCarloAntitheticStdErrOverPairs(t *testing.T) {
+	// For a worth that depends only on coalition size, the marginal of
+	// the player at position k is f(k+1) − f(k). With f quadratic the
+	// pair average of positions k and n−1−k is the same constant for
+	// every player and every pair, so the pair-level variance — and the
+	// reported StdErr — must be exactly 0. The pre-fix code computed the
+	// variance over the individual half-samples (which DO vary with
+	// position) and reported a spuriously positive StdErr.
+	const n = 6
+	worth := func(s vm.Coalition) float64 {
+		size := float64(s.Size())
+		return 13*size - 0.7*size*size
+	}
+	res, err := MonteCarlo(n, worth, MCOptions{Permutations: 64, Antithetic: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, se := range res.StdErr {
+		if se > 1e-9 {
+			t.Fatalf("StdErr[%d] = %g, want 0 (pair averages are constant)", i, se)
+		}
+	}
+	// And the zero pair-variance must fire TargetStdErr at the first
+	// checkpoint rather than run out the budget.
+	res, err = MonteCarlo(n, worth, MCOptions{
+		Permutations: 100000, Antithetic: true, TargetStdErr: 1e-6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Permutations != 128 { // 64 pairs, the first checkpoint
+		t.Fatalf("Permutations = %d, want early stop at 128", res.Permutations)
 	}
 }
 

@@ -1,0 +1,178 @@
+package shapley
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vmpower/internal/vm"
+)
+
+// Parallelism semantics, shared by every parallel entry point in this
+// package (ExactParallel, TabulateParallel, ExactFromTableParallel and
+// MCOptions.Parallelism):
+//
+//	p <= 0 — use runtime.GOMAXPROCS(0) workers ("all cores")
+//	p == 1 — evaluate on the calling goroutine, no workers spawned
+//	p >= 2 — use exactly p workers
+//
+// Results are bit-for-bit identical for any parallelism value: the work
+// is decomposed into shards whose layout depends only on the game (never
+// on the worker count or GOMAXPROCS), each shard is reduced in a fixed
+// internal order, and shard partials are merged in shard-index order.
+// Workers only race for *which* shard to pull next, never for how a
+// shard is computed or merged.
+//
+// Thread-safety contract: the parallel entry points call the WorthFunc
+// concurrently from multiple goroutines. A WorthFunc passed to them must
+// be safe for concurrent calls and pure (same coalition → same value for
+// the duration of the call); the worth functions built by core over a
+// trained vhc.Approximator satisfy both (the approximator serialises
+// access with an RWMutex and is read-only during estimation). The serial
+// entry points (Exact, Tabulate, ExactFromTable, MonteCarlo with
+// Parallelism == 1) never call the WorthFunc from more than one
+// goroutine.
+
+// resolveParallelism maps the user-facing knob to a worker count.
+func resolveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// exactMaxShards bounds the shard count of the mask-space decomposition.
+// 256 shards keep the per-shard partial vectors tiny while leaving
+// plenty of shards per worker for load balancing at any realistic core
+// count.
+const exactMaxShards = 256
+
+// exactShards returns the shard count for an n-player mask space. It
+// depends only on n so the decomposition — and therefore the floating-
+// point merge order — is identical at every parallelism.
+func exactShards(n int) int {
+	total := 1 << uint(n)
+	if total < exactMaxShards {
+		return total
+	}
+	return exactMaxShards
+}
+
+// runSharded executes fn(shard) for every shard in [0, shards) on up to
+// parallelism workers. Shard assignment is dynamic (an atomic counter),
+// which is safe because every shard's output slot is private to it.
+func runSharded(shards, parallelism int, fn func(shard int)) {
+	workers := resolveParallelism(parallelism)
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(atomic.AddInt64(&next, 1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TabulateParallel evaluates worth over all 2^n coalitions into a dense
+// table using up to parallelism workers. Each table entry is written by
+// exactly one shard, so the result is identical to Tabulate for a pure
+// worth function. worth must be safe for concurrent calls when
+// parallelism != 1 (see the package's thread-safety contract above).
+func TabulateParallel(n int, worth WorthFunc, parallelism int) ([]float64, error) {
+	if n < 1 || n > ExactMaxPlayers {
+		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	if worth == nil {
+		return nil, ErrNilWorth
+	}
+	table := make([]float64, 1<<uint(n))
+	shards := exactShards(n)
+	per := len(table) / shards
+	runSharded(shards, parallelism, func(shard int) {
+		lo := shard * per
+		hi := lo + per
+		for s := lo; s < hi; s++ {
+			table[s] = worth(vm.Coalition(s))
+		}
+	})
+	return table, nil
+}
+
+// ExactFromTableParallel computes the exact Shapley value from a
+// pre-tabulated worth table with up to parallelism workers. The mask
+// space is split into exactShards(n) contiguous shards; each shard
+// accumulates a private phi partial in ascending mask order and the
+// partials are merged in shard order, so the output is bit-for-bit
+// identical at every parallelism (it can differ from the serial
+// ExactFromTable in the last ulps, since the summation is associated
+// differently).
+func ExactFromTableParallel(n int, table []float64, parallelism int) ([]float64, error) {
+	if n < 1 || n > ExactMaxPlayers {
+		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	if len(table) != 1<<uint(n) {
+		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
+	}
+	w, err := Weights(n)
+	if err != nil {
+		return nil, err
+	}
+	shards := exactShards(n)
+	per := len(table) / shards
+	partials := make([]float64, shards*n)
+	runSharded(shards, parallelism, func(shard int) {
+		phi := partials[shard*n : (shard+1)*n]
+		lo := vm.Coalition(shard * per)
+		hi := lo + vm.Coalition(per)
+		for s := lo; s < hi; s++ {
+			vs := table[s]
+			size := s.Size()
+			for i := 0; i < n; i++ {
+				id := vm.ID(i)
+				if s.Contains(id) {
+					continue
+				}
+				phi[i] += w[size] * (table[s.With(id)] - vs)
+			}
+		}
+	})
+	phi := make([]float64, n)
+	for shard := 0; shard < shards; shard++ {
+		part := partials[shard*n : (shard+1)*n]
+		for i := 0; i < n; i++ {
+			phi[i] += part[i]
+		}
+	}
+	return phi, nil
+}
+
+// ExactParallel computes the exact Shapley value (Eq. 4) with up to
+// parallelism workers: a parallel tabulation of the 2^n worths followed
+// by a parallel sharded accumulation. worth must be safe for concurrent
+// calls when parallelism != 1. For a fixed game the result is identical
+// at every parallelism value.
+func ExactParallel(n int, worth WorthFunc, parallelism int) ([]float64, error) {
+	table, err := TabulateParallel(n, worth, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return ExactFromTableParallel(n, table, parallelism)
+}

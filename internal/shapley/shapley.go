@@ -12,6 +12,7 @@ package shapley
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"vmpower/internal/vm"
 )
@@ -159,16 +160,38 @@ func Banzhaf(n int, table []float64) ([]float64, error) {
 	return phi, nil
 }
 
+// normalizeMinDenomFrac is the cancellation guard of NormalizeEfficient:
+// proportional rescaling is abandoned when |Σφ| falls below this
+// fraction of Σ|φ|.
+const normalizeMinDenomFrac = 1e-9
+
 // NormalizeEfficient rescales an allocation so it sums to target (e.g.
-// the measured power), preserving proportions. An all-zero allocation is
-// returned unchanged.
+// the measured power), preserving proportions.
+//
+// Contract for degenerate inputs: an all-zero allocation is returned as
+// zeros. Shares of mixed sign are legitimate (interference makes Φ_i < 0
+// meaningful — see Interactions), but they can cancel to a net sum near
+// zero while the individual shares stay large; dividing by that sum
+// would scale the output toward ±∞. When |Σφ| < 1e-9·Σ|φ| the
+// proportional rescale is therefore replaced by a uniform additive
+// shift of (target − Σφ)/n: the result still sums to target and
+// preserves the differences between shares instead of amplifying
+// cancellation noise.
 func NormalizeEfficient(phi []float64, target float64) []float64 {
-	var sum float64
+	var sum, sumAbs float64
 	for _, p := range phi {
 		sum += p
+		sumAbs += math.Abs(p)
 	}
 	out := make([]float64, len(phi))
-	if sum == 0 {
+	if sumAbs == 0 {
+		return out
+	}
+	if math.Abs(sum) < normalizeMinDenomFrac*sumAbs {
+		shift := (target - sum) / float64(len(phi))
+		for i, p := range phi {
+			out[i] = p + shift
+		}
 		return out
 	}
 	for i, p := range phi {

@@ -133,8 +133,21 @@ type Options struct {
 }
 
 // Approximator learns and serves v(S, C) per VHC combination.
-// It is safe for concurrent use after Train; AddSample and Train must not
-// race with Estimate.
+//
+// Thread-safety: every method takes mu — readers (Estimate, Weights,
+// CPUWeights, Diags, Trained, SampleCount) under RLock, mutators
+// (AddSample, Train, Import) under the write lock — so any combination
+// of concurrent calls is data-race free. In particular the read path
+// used by the parallel Shapley engine (Estimate) touches only the
+// quantized v(S,C) table and the fitted weight vectors, both of which
+// are immutable between mutator calls; a trained Approximator that is
+// no longer fed samples therefore behaves as a pure function of
+// (combo, features), which is the purity contract the engine's worth
+// cache and sharded evaluation rely on (see
+// internal/shapley/parallel.go). Interleaving AddSample/Train with
+// concurrent Estimate calls is still safe, but the estimates then
+// depend on arrival order — don't retrain mid-estimation if
+// reproducibility matters.
 type Approximator struct {
 	numTypes   int
 	resolution float64

@@ -90,6 +90,11 @@ type Config struct {
 	// IdleAttribution adds an idle-power share to each allocation:
 	// "none" (default), "equal" or "proportional" (Sec. VIII).
 	IdleAttribution string
+	// Parallelism is the Shapley engine's worker count: 0 (default)
+	// runs serial like the paper's pipeline, negative uses all cores,
+	// N >= 2 uses N workers. Allocations are identical for a fixed Seed
+	// at any setting — parallelism only changes wall-clock time.
+	Parallelism int
 }
 
 // System is a simulated deployment with its estimation pipeline.
@@ -186,6 +191,7 @@ func New(cfg Config) (*System, error) {
 		OfflineTicksPerCombo: cfg.CalibrationTicks,
 		Seed:                 cfg.Seed,
 		IdleAttribution:      attribution,
+		Parallelism:          cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
