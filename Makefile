@@ -1,8 +1,10 @@
 # Development targets for the vmpower reproduction.
 
 GO ?= go
+# Benchtime for the bench-json snapshot; 1x keeps `make verify` fast.
+BENCHTIME ?= 1x
 
-.PHONY: all build test race bench verify experiments csv cover fmt vet clean
+.PHONY: all build test race bench bench-json verify experiments csv cover fmt vet clean
 
 all: build test
 
@@ -19,12 +21,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Snapshot benchmark numbers (name, ns/op, allocs/op) into a dated JSON
+# file for cross-commit comparison.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
+
 # Full-size reproduction of every paper table/figure.
 experiments:
 	$(GO) run ./cmd/experiments -run all
 
-# Check every calibration band from DESIGN.md §5 (exits non-zero on drift).
-verify:
+# Full verification: vet + race across the tree, a benchmark snapshot,
+# and every calibration band from DESIGN.md §5 (exits non-zero on drift).
+verify: race bench-json
 	$(GO) run ./cmd/experiments -verify
 
 # Regenerate the figure CSVs under results/.
@@ -41,4 +49,4 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -rf results test_output.txt bench_output.txt
+	rm -rf results test_output.txt bench_output.txt BENCH_*.json

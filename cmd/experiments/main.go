@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"vmpower/internal/cliutil"
 	"vmpower/internal/experiments"
 )
 
@@ -34,8 +35,14 @@ func run() error {
 		csvDir = flag.String("csv", "", "directory to write figure CSVs into")
 		list   = flag.Bool("list", false, "list experiment IDs and exit")
 		verify = flag.Bool("verify", false, "run the calibration-band verification (DESIGN.md §5) and exit non-zero on failure")
+		logCfg = cliutil.LogFlags(nil)
 	)
 	flag.Parse()
+
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	if *list {
 		for _, d := range experiments.All() {
@@ -72,6 +79,7 @@ func run() error {
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	for _, d := range selected {
+		logger.Info("running experiment", "id", d.ID, "quick", *quick)
 		res, err := d.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.ID, err)

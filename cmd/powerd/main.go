@@ -6,7 +6,7 @@
 // Usage:
 //
 //	powerd [-listen addr] [-vms name:type,...] [-interval dur] [-seed N]
-//	       [-parallelism N]
+//	       [-parallelism N] [-pprof] [-log-level L] [-log-format F]
 //
 // Endpoints:
 //
@@ -14,6 +14,10 @@
 //	GET /api/v1/allocation
 //	GET /api/v1/history?n=K
 //	GET /api/v1/energy
+//	GET /healthz
+//	GET /metrics          (Prometheus text format)
+//	GET /metrics.json
+//	GET /debug/pprof/*    (with -pprof)
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -33,6 +38,7 @@ import (
 	"vmpower/internal/hypervisor"
 	"vmpower/internal/machine"
 	"vmpower/internal/meter"
+	"vmpower/internal/obs"
 	"vmpower/internal/powerd"
 	"vmpower/internal/vm"
 	"vmpower/internal/workload"
@@ -55,8 +61,15 @@ func run() error {
 		saveModel = flag.String("save-model", "", "write the calibration model to this file after the offline phase")
 		loadModel = flag.String("load-model", "", "skip the offline phase and load a model written by -save-model")
 		par       = flag.Int("parallelism", 0, "Shapley engine workers (0 = all cores, 1 = serial); allocations are identical at any setting")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logCfg    = cliutil.LogFlags(nil)
 	)
 	flag.Parse()
+
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
 	if err != nil {
@@ -106,13 +119,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "loaded model from %s; idle power %.1f W\n", *loadModel, est.IdlePower())
+		logger.Info("loaded model", "path", *loadModel, "idle_watts", est.IdlePower())
 	} else {
-		fmt.Fprintln(os.Stderr, "calibrating...")
+		logger.Info("calibrating")
 		if err := est.CollectOffline(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "calibrated; idle power %.1f W\n", est.IdlePower())
+		logger.Info("calibrated", "idle_watts", est.IdlePower())
 	}
 	if *saveModel != "" {
 		f, err := os.Create(*saveModel)
@@ -126,7 +139,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "saved model to %s\n", *saveModel)
+		logger.Info("saved model", "path", *saveModel)
 	}
 
 	suite := []string{"gcc", "gobmk", "sjeng", "omnetpp", "namd", "wrf", "tonto"}
@@ -145,14 +158,28 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	srv.Instrument(reg, logger, *interval)
+
+	var handler http.Handler = srv.Handler()
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = outer
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	httpSrv := &http.Server{Addr: *listen, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "serving on http://%s\n", *listen)
+		logger.Info("serving", "addr", *listen, "pprof", *pprofOn)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

@@ -46,8 +46,14 @@ func run() error {
 		csv         = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		record      = flag.String("record", "", "write a replay trace (JSON lines) to this file; feed it to vmbill -replay")
 		par         = flag.Int("parallelism", 0, "Shapley engine workers (0 = all cores, 1 = serial); allocations are identical at any setting")
+		logCfg      = cliutil.LogFlags(nil)
 	)
 	flag.Parse()
+
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	var model vmpower.MachineModel
 	switch *machineName {
@@ -83,12 +89,14 @@ func run() error {
 		return err
 	}
 
-	fmt.Fprintf(os.Stderr, "calibrating %d VMs on %s...\n", len(specs), *machineName)
+	logger.Info("calibrating", "vms", len(specs), "machine", *machineName)
 	start := time.Now()
 	if err := sys.Calibrate(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "calibrated in %v; idle power %.1f W\n", time.Since(start).Round(time.Millisecond), sys.IdlePower())
+	logger.Info("calibrated",
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+		"idle_watts", sys.IdlePower())
 
 	suite := []string{"gcc", "gobmk", "sjeng", "omnetpp", "namd", "wrf", "tonto"}
 	var assigned []string
@@ -106,7 +114,7 @@ func run() error {
 		if err := sys.RunWorkload(spec.Name, strings.TrimSpace(assigned[i]), *seed+int64(i)); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "  %s ← %s\n", spec.Name, assigned[i])
+		logger.Info("workload attached", "vm", spec.Name, "benchmark", strings.TrimSpace(assigned[i]))
 	}
 
 	if *record != "" {
@@ -116,16 +124,16 @@ func run() error {
 		}
 		defer func() {
 			if err := sys.StopRecording(); err != nil {
-				fmt.Fprintln(os.Stderr, "powersim: flushing trace:", err)
+				logger.Error("flushing trace", "err", err)
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "powersim: closing trace:", err)
+				logger.Error("closing trace", "err", err)
 			}
 		}()
 		if err := sys.StartRecording(f); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "recording trace to %s\n", *record)
+		logger.Info("recording trace", "path", *record)
 	}
 
 	names := sys.VMNames()

@@ -1,0 +1,42 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+
+	"vmpower/internal/obs"
+)
+
+// LogConfig carries the shared -log-level / -log-format flag pair. Every
+// command registers it through LogFlags so the tools agree on the flag
+// names, defaults and accepted values.
+type LogConfig struct {
+	Level  string
+	Format string
+}
+
+// LogFlags registers -log-level and -log-format on fs (the default
+// CommandLine set when fs is nil) and returns the destination config.
+func LogFlags(fs *flag.FlagSet) *LogConfig {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c := &LogConfig{}
+	fs.StringVar(&c.Level, "log-level", "info", "log level: debug, info, warn or error")
+	fs.StringVar(&c.Format, "log-format", "kv", "log line format: kv (logfmt) or json")
+	return c
+}
+
+// Logger builds the structured logger the parsed flags describe,
+// writing to w.
+func (c *LogConfig) Logger(w io.Writer) (*obs.Logger, error) {
+	level, err := obs.ParseLevel(c.Level)
+	if err != nil {
+		return nil, err
+	}
+	format, err := obs.ParseFormat(c.Format)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(w, level, format), nil
+}

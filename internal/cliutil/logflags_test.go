@@ -1,0 +1,70 @@
+package cliutil
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"vmpower/internal/obs"
+)
+
+func TestLogFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := LogFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Level != "info" || cfg.Format != "kv" {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	var buf strings.Builder
+	log, err := cfg.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("visible", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug must be filtered at the default level")
+	}
+	if !strings.Contains(out, "msg=visible") || !strings.Contains(out, "k=1") {
+		t.Fatalf("kv line: %q", out)
+	}
+}
+
+func TestLogFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := LogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	log, err := cfg.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.Enabled(obs.LevelDebug) {
+		t.Fatal("-log-level debug must enable debug records")
+	}
+	log.Debug("d")
+	if !strings.HasPrefix(buf.String(), `{"ts":`) {
+		t.Fatalf("json line: %q", buf.String())
+	}
+}
+
+func TestLogFlagsRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-log-level", "loud"},
+		{"-log-format", "xml"},
+	} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		cfg := LogFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cfg.Logger(nil); err == nil {
+			t.Fatalf("args %v: want an error from Logger", args)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"vmpower/internal/hypervisor"
 	"vmpower/internal/meter"
+	"vmpower/internal/obs"
 	"vmpower/internal/shapley"
 	"vmpower/internal/vhc"
 	"vmpower/internal/vm"
@@ -371,12 +372,21 @@ func (e *Estimator) LoadModel(r io.Reader) error {
 // EstimateTick performs one online estimation step: collect the current
 // states, sample the meter, and disaggregate.
 func (e *Estimator) EstimateTick() (*Allocation, error) {
+	return e.EstimateTickSpan(nil)
+}
+
+// EstimateTickSpan is EstimateTick with pipeline tracing: the span (nil
+// is fine) gets stage marks "snapshot", "meter", "worth", "solve" and
+// "normalize" as the tick moves through the paper's online pipeline.
+func (e *Estimator) EstimateTickSpan(sp *obs.Span) (*Allocation, error) {
 	snap := e.host.Collect()
+	sp.Mark("snapshot")
 	s, err := e.sampleMeter()
 	if err != nil {
 		return nil, err
 	}
-	return e.Estimate(snap, s.Power)
+	sp.Mark("meter")
+	return e.estimateSpan(snap, s.Power, sp)
 }
 
 // Estimate disaggregates a measured total power across the snapshot's
@@ -385,6 +395,15 @@ func (e *Estimator) EstimateTick() (*Allocation, error) {
 // allocation is always efficient against the meter; proper subsets use the
 // VHC approximation.
 func (e *Estimator) Estimate(snap hypervisor.Snapshot, measuredTotal float64) (*Allocation, error) {
+	return e.estimateSpan(snap, measuredTotal, nil)
+}
+
+// estimateSpan is Estimate with stage marks. On the exact path the worth
+// tabulation and the Shapley accumulation are separate shapley calls
+// (Exact ≡ Tabulate + ExactFromTable, so results are unchanged), letting
+// the span split "worth" from "solve"; Monte-Carlo interleaves worth
+// evaluation with sampling, so its whole run lands in "solve".
+func (e *Estimator) estimateSpan(snap hypervisor.Snapshot, measuredTotal float64, sp *obs.Span) (*Allocation, error) {
 	if !e.trained {
 		return nil, ErrUntrained
 	}
@@ -414,10 +433,19 @@ func (e *Estimator) Estimate(snap hypervisor.Snapshot, measuredTotal float64) (*
 	var err error
 	if n <= e.cfg.ExactMaxPlayers {
 		alloc.Method = "exact"
+		var table []float64
 		if e.cfg.Parallelism == 1 {
-			phi, err = shapley.Exact(n, worth)
+			table, err = shapley.Tabulate(n, worth)
 		} else {
-			phi, err = shapley.ExactParallel(n, worth, e.cfg.Parallelism)
+			table, err = shapley.TabulateParallel(n, worth, e.cfg.Parallelism)
+		}
+		if err == nil {
+			sp.Mark("worth")
+			if e.cfg.Parallelism == 1 {
+				phi, err = shapley.ExactFromTable(n, table)
+			} else {
+				phi, err = shapley.ExactFromTableParallel(n, table, e.cfg.Parallelism)
+			}
 		}
 	} else {
 		alloc.Method = "montecarlo"
@@ -431,6 +459,7 @@ func (e *Estimator) Estimate(snap hypervisor.Snapshot, measuredTotal float64) (*
 			phi = res.Phi
 		}
 	}
+	sp.Mark("solve")
 	if err != nil {
 		return nil, err
 	}
@@ -438,7 +467,9 @@ func (e *Estimator) Estimate(snap hypervisor.Snapshot, measuredTotal float64) (*
 		return nil, fmt.Errorf("core: worth evaluation: %w", werr)
 	}
 	alloc.PerVM = phi
-	return e.attributeIdle(alloc), nil
+	alloc = e.attributeIdle(alloc)
+	sp.Mark("normalize")
+	return alloc, nil
 }
 
 // buildWorth constructs the online coalition worth function for a

@@ -117,10 +117,14 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 // Read returns the next valid sample. On a checksum failure it reports
 // ErrBadFrame once; the following Read resynchronises. io.EOF propagates.
 func (sr *Reader) Read() (meter.Sample, error) {
+	m := metrics()
 	if err := sr.fill(frameSize); err != nil {
 		return meter.Sample{}, err
 	}
 	// Resynchronise: find the magic at the head of the buffer.
+	if !(sr.buf[0] == magic0 && sr.buf[1] == magic1) {
+		m.noteResync()
+	}
 	for !(sr.buf[0] == magic0 && sr.buf[1] == magic1) {
 		idx := -1
 		for i := 1; i+1 < len(sr.buf); i++ {
@@ -143,9 +147,11 @@ func (sr *Reader) Read() (meter.Sample, error) {
 	if err != nil {
 		// Skip the bad magic so the next Read can resync past it.
 		sr.buf = sr.buf[2:]
+		m.noteBadFrame()
 		return meter.Sample{}, err
 	}
 	sr.buf = sr.buf[frameSize:]
+	m.noteFrame()
 	return s, nil
 }
 

@@ -1,0 +1,77 @@
+package serial
+
+import (
+	"sync/atomic"
+
+	"vmpower/internal/obs"
+)
+
+// Metrics is the package's self-reporting surface: meter-link health
+// that was previously invisible until Next gave up with
+// ErrCorruptStream. All handles are nil-safe.
+type Metrics struct {
+	// Frames counts valid frames decoded (vmpower_serial_frames_total).
+	Frames *obs.Counter
+	// BadFrames counts magic/CRC failures
+	// (vmpower_serial_bad_frames_total) — a rising rate is the early
+	// warning the corrupt-frame cap acts on.
+	BadFrames *obs.Counter
+	// Resyncs counts reads that had to hunt for the magic bytes
+	// (vmpower_serial_resyncs_total).
+	Resyncs *obs.Counter
+	// CorruptStreams counts Next giving up after
+	// MaxConsecutiveBadFrames (vmpower_serial_corrupt_streams_total).
+	CorruptStreams *obs.Counter
+}
+
+var pkgMetrics atomic.Pointer[Metrics]
+
+// Instrument registers the package's standard metrics on reg and
+// activates them for every Reader and Client. Instrument(nil) returns
+// the package to the uninstrumented state.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		pkgMetrics.Store(nil)
+		return
+	}
+	pkgMetrics.Store(&Metrics{
+		Frames: reg.Counter("vmpower_serial_frames_total",
+			"valid meter frames decoded"),
+		BadFrames: reg.Counter("vmpower_serial_bad_frames_total",
+			"meter frames dropped for bad magic or CRC"),
+		Resyncs: reg.Counter("vmpower_serial_resyncs_total",
+			"stream reads that resynchronised on the magic bytes"),
+		CorruptStreams: reg.Counter("vmpower_serial_corrupt_streams_total",
+			"streams abandoned after too many consecutive bad frames"),
+	})
+}
+
+func metrics() *Metrics { return pkgMetrics.Load() }
+
+func (m *Metrics) noteFrame() {
+	if m == nil {
+		return
+	}
+	m.Frames.Inc()
+}
+
+func (m *Metrics) noteBadFrame() {
+	if m == nil {
+		return
+	}
+	m.BadFrames.Inc()
+}
+
+func (m *Metrics) noteResync() {
+	if m == nil {
+		return
+	}
+	m.Resyncs.Inc()
+}
+
+func (m *Metrics) noteCorruptStream() {
+	if m == nil {
+		return
+	}
+	m.CorruptStreams.Inc()
+}

@@ -1,0 +1,113 @@
+package serial
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"vmpower/internal/meter"
+	"vmpower/internal/obs"
+)
+
+// counterValue pulls a counter's current value back out of the registry.
+func counterValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return float64(s.Value)
+		}
+	}
+	t.Fatalf("series %s not found in snapshot", name)
+	return 0
+}
+
+func TestInstrumentCountsFramesAndCorruption(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(meter.Sample{Seq: 1, Power: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage between frames forces a resync before the second frame.
+	buf.Write([]byte{0x00, 0x01, 0x02, 0x03, 0x04})
+	if err := w.Write(meter.Sample{Seq: 2, Power: 101}); err != nil {
+		t.Fatal(err)
+	}
+	// A frame with a corrupted CRC surfaces ErrBadFrame.
+	frame, err := Encode(meter.Sample{Seq: 3, Power: 102})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[14] ^= 0xFF
+	buf.Write(frame)
+
+	r := NewReader(&buf)
+	if s, err := r.Read(); err != nil || s.Seq != 1 {
+		t.Fatalf("first read: %v %v", s, err)
+	}
+	if s, err := r.Read(); err != nil || s.Seq != 2 {
+		t.Fatalf("second read: %v %v", s, err)
+	}
+	if _, err := r.Read(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("third read: want ErrBadFrame, got %v", err)
+	}
+
+	if got := counterValue(t, reg, "vmpower_serial_frames_total"); got != 2 {
+		t.Errorf("frames_total = %v, want 2", got)
+	}
+	if got := counterValue(t, reg, "vmpower_serial_bad_frames_total"); got != 1 {
+		t.Errorf("bad_frames_total = %v, want 1", got)
+	}
+	if got := counterValue(t, reg, "vmpower_serial_resyncs_total"); got < 1 {
+		t.Errorf("resyncs_total = %v, want >= 1", got)
+	}
+}
+
+func TestInstrumentCountsCorruptStream(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	// Enough back-to-back bad-CRC frames to trip the consecutive cap.
+	frame, err := Encode(meter.Sample{Seq: 1, Power: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[14] ^= 0xFF
+	var buf bytes.Buffer
+	for i := 0; i < MaxConsecutiveBadFrames+4; i++ {
+		buf.Write(frame)
+	}
+	c := &Client{r: NewReader(&buf)}
+	if _, err := c.Next(); !errors.Is(err, ErrCorruptStream) {
+		t.Fatalf("Next: want ErrCorruptStream, got %v", err)
+	}
+	if got := counterValue(t, reg, "vmpower_serial_corrupt_streams_total"); got != 1 {
+		t.Errorf("corrupt_streams_total = %v, want 1", got)
+	}
+
+	// And the series shows up by name in the text exposition.
+	var out strings.Builder
+	reg.WriteText(&out)
+	if !strings.Contains(out.String(), "vmpower_serial_bad_frames_total") {
+		t.Error("exposition missing vmpower_serial_bad_frames_total")
+	}
+}
+
+func TestUninstrumentedReaderUnaffected(t *testing.T) {
+	Instrument(nil)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(meter.Sample{Seq: 9, Power: 10}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	s, err := r.Read()
+	if err != nil || s.Seq != 9 {
+		t.Fatalf("read: %v %v", s, err)
+	}
+}

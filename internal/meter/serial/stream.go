@@ -157,6 +157,7 @@ func (c *Client) Next() (meter.Sample, error) {
 		if errors.Is(err, ErrBadFrame) {
 			bad++
 			if bad >= MaxConsecutiveBadFrames {
+				metrics().noteCorruptStream()
 				return meter.Sample{}, fmt.Errorf("%w: %d frames", ErrCorruptStream, bad)
 			}
 			continue

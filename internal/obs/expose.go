@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// escapeLabelValue escapes a label value per the Prometheus text format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatLabels renders {k="v",...}; extra is appended last (used for le).
+func formatLabels(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value; Prometheus accepts +Inf/-Inf/NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WriteText writes the registry in the Prometheus text exposition
+// format (version 0.0.4), families in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range children {
+			switch m := c.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, formatLabels(m.labels), m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, formatLabels(m.labels), formatFloat(m.Value()))
+			case *Histogram:
+				var cum uint64
+				for i, bound := range m.bounds {
+					cum += m.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						f.name, formatLabels(m.labels, L("le", formatFloat(bound))), cum)
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					f.name, formatLabels(m.labels, L("le", "+Inf")), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, formatLabels(m.labels), formatFloat(m.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, formatLabels(m.labels), cum)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonFloat marshals non-finite values as strings so the snapshot stays
+// valid JSON (encoding/json rejects Inf and NaN).
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return json.Marshal(formatFloat(v))
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts both the numeric and the string ("+Inf", "-Inf",
+// "NaN") encodings, so snapshots round-trip.
+func (f *jsonFloat) UnmarshalJSON(data []byte) error {
+	var v float64
+	if err := json.Unmarshal(data, &v); err == nil {
+		*f = jsonFloat(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "+Inf", "Inf":
+		*f = jsonFloat(math.Inf(1))
+	case "-Inf":
+		*f = jsonFloat(math.Inf(-1))
+	case "NaN":
+		*f = jsonFloat(math.NaN())
+	default:
+		return fmt.Errorf("obs: cannot parse %q as a float", s)
+	}
+	return nil
+}
+
+// BucketSnapshot is one cumulative histogram bucket in a snapshot.
+type BucketSnapshot struct {
+	LE    jsonFloat `json:"le"`
+	Count uint64    `json:"count"`
+}
+
+// SeriesSnapshot is one metric series in a JSON snapshot.
+type SeriesSnapshot struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is set for counters and gauges.
+	Value jsonFloat `json:"value"`
+	// Histogram-only fields. Buckets are cumulative; the final +Inf
+	// bucket equals Count.
+	Sum     jsonFloat        `json:"sum,omitempty"`
+	Count   uint64           `json:"count,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every series in registration order.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.RUnlock()
+
+	var out []SeriesSnapshot
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		for _, c := range children {
+			s := SeriesSnapshot{Name: f.name, Type: f.kind.String(), Help: f.help}
+			var labels []Label
+			switch m := c.(type) {
+			case *Counter:
+				labels = m.labels
+				s.Value = jsonFloat(m.Value())
+			case *Gauge:
+				labels = m.labels
+				s.Value = jsonFloat(m.Value())
+			case *Histogram:
+				labels = m.labels
+				s.Sum = jsonFloat(m.Sum())
+				var cum uint64
+				for i, bound := range m.bounds {
+					cum += m.counts[i].Load()
+					s.Buckets = append(s.Buckets, BucketSnapshot{LE: jsonFloat(bound), Count: cum})
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				s.Buckets = append(s.Buckets, BucketSnapshot{LE: jsonFloat(math.Inf(1)), Count: cum})
+				s.Count = cum
+			}
+			if len(labels) > 0 {
+				s.Labels = make(map[string]string, len(labels))
+				for _, l := range labels {
+					s.Labels[l.Key] = l.Value
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Handler serves the text exposition (mount at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// HandlerJSON serves the JSON snapshot (mount at /metrics.json).
+func (r *Registry) HandlerJSON() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}

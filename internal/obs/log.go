@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+// Severities, lowest first. A Logger emits records at or above its level.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ParseLevel parses a level name.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// Format selects the line encoding of a Logger.
+type Format int
+
+const (
+	// FormatKV emits logfmt-style key=value lines.
+	FormatKV Format = iota
+	// FormatJSON emits one JSON object per line.
+	FormatJSON
+)
+
+// ParseFormat parses a format name.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "kv", "logfmt", "text":
+		return FormatKV, nil
+	case "json":
+		return FormatJSON, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log format %q (want kv or json)", s)
+	}
+}
+
+// logSink serialises writes; shared by a Logger and its With children.
+type logSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Logger is a leveled structured logger. Records carry a timestamp, a
+// level, a message and alternating key/value fields:
+//
+//	log.Info("calibrated", "idle_watts", 138.2, "ticks", 600)
+//
+// A nil *Logger discards everything (the no-op path), so library code
+// can log unconditionally on a possibly-nil handle.
+type Logger struct {
+	sink   *logSink
+	level  Level
+	format Format
+	base   []any // pre-bound key/value pairs from With
+	now    func() time.Time
+}
+
+// NewLogger builds a logger writing to w.
+func NewLogger(w io.Writer, level Level, format Format) *Logger {
+	return &Logger{sink: &logSink{w: w}, level: level, format: format, now: time.Now}
+}
+
+// With returns a child logger with kv pre-bound to every record. The
+// child shares the parent's writer and level.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.base = append(append([]any(nil), l.base...), kv...)
+	return &child
+}
+
+// Enabled reports whether records at lv would be emitted.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.level }
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	var b strings.Builder
+	if l.format == FormatJSON {
+		b.WriteString(`{"ts":`)
+		b.WriteString(strconv.Quote(ts))
+		b.WriteString(`,"level":`)
+		b.WriteString(strconv.Quote(lv.String()))
+		b.WriteString(`,"msg":`)
+		b.WriteString(strconv.Quote(msg))
+		writePairs(&b, l.base, true)
+		writePairs(&b, kv, true)
+		b.WriteString("}\n")
+	} else {
+		b.WriteString("ts=")
+		b.WriteString(ts)
+		b.WriteString(" level=")
+		b.WriteString(lv.String())
+		b.WriteString(" msg=")
+		b.WriteString(kvQuote(msg))
+		writePairs(&b, l.base, false)
+		writePairs(&b, kv, false)
+		b.WriteByte('\n')
+	}
+	l.sink.mu.Lock()
+	_, _ = io.WriteString(l.sink.w, b.String())
+	l.sink.mu.Unlock()
+}
+
+// writePairs renders alternating key/value fields. A trailing key with
+// no value gets "(MISSING)" rather than being dropped.
+func writePairs(b *strings.Builder, kv []any, asJSON bool) {
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		var val any = "(MISSING)"
+		if i+1 < len(kv) {
+			val = kv[i+1]
+		}
+		if asJSON {
+			b.WriteByte(',')
+			b.WriteString(strconv.Quote(key))
+			b.WriteByte(':')
+			b.WriteString(jsonValue(val))
+		} else {
+			b.WriteByte(' ')
+			b.WriteString(key)
+			b.WriteByte('=')
+			b.WriteString(kvValue(val))
+		}
+	}
+}
+
+// jsonValue marshals one field value, degrading to a quoted string for
+// values encoding/json rejects (errors, Inf, channels, ...).
+func jsonValue(v any) string {
+	if err, ok := v.(error); ok {
+		v = err.Error()
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return strconv.Quote(fmt.Sprint(v))
+	}
+	return string(raw)
+}
+
+// kvValue renders one logfmt field value.
+func kvValue(v any) string {
+	switch t := v.(type) {
+	case error:
+		return kvQuote(t.Error())
+	case string:
+		return kvQuote(t)
+	case time.Duration:
+		return t.String()
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(t), 'g', -1, 32)
+	case fmt.Stringer:
+		return kvQuote(t.String())
+	default:
+		return kvQuote(fmt.Sprint(v))
+	}
+}
+
+// kvQuote quotes a string only when logfmt requires it.
+func kvQuote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '=' || c == '"' || c == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedLogger pins the clock so lines are deterministic.
+func fixedLogger(b *strings.Builder, level Level, format Format) *Logger {
+	l := NewLogger(b, level, format)
+	l.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	return l
+}
+
+func TestLoggerKVFormat(t *testing.T) {
+	var b strings.Builder
+	l := fixedLogger(&b, LevelInfo, FormatKV)
+	l.Info("calibrated", "idle_watts", 138.2, "machine", "xeon 16", "err", errors.New("boom=1"))
+	got := b.String()
+	want := `ts=2026-08-05T12:00:00Z level=info msg=calibrated idle_watts=138.2 machine="xeon 16" err="boom=1"` + "\n"
+	if got != want {
+		t.Fatalf("line = %q\nwant  %q", got, want)
+	}
+}
+
+func TestLoggerJSONFormat(t *testing.T) {
+	var b strings.Builder
+	l := fixedLogger(&b, LevelDebug, FormatJSON)
+	l.Debug("tick", "tick", 7, "watts", 151.25, "vm", "web")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, b.String())
+	}
+	if rec["level"] != "debug" || rec["msg"] != "tick" || rec["watts"] != 151.25 || rec["vm"] != "web" {
+		t.Fatalf("record = %v", rec)
+	}
+	// Field order is stable: ts, level, msg, then caller pairs.
+	if !strings.HasPrefix(b.String(), `{"ts":"2026-08-05T12:00:00Z","level":"debug","msg":"tick","tick":7`) {
+		t.Fatalf("order: %q", b.String())
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var b strings.Builder
+	l := fixedLogger(&b, LevelWarn, FormatKV)
+	l.Debug("d")
+	l.Info("i")
+	if b.Len() != 0 {
+		t.Fatalf("below-level records emitted: %q", b.String())
+	}
+	l.Warn("w")
+	l.Error("e", "code", 7)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "level=warn") || !strings.Contains(lines[1], "code=7") {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Fatal("Enabled mismatch")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var b strings.Builder
+	l := fixedLogger(&b, LevelInfo, FormatKV)
+	child := l.With("component", "powerd")
+	child.Info("up", "listen", "127.0.0.1:7077")
+	if !strings.Contains(b.String(), "component=powerd listen=127.0.0.1:7077") {
+		t.Fatalf("line = %q", b.String())
+	}
+	// Parent unaffected.
+	b.Reset()
+	l.Info("plain")
+	if strings.Contains(b.String(), "component") {
+		t.Fatalf("parent gained base fields: %q", b.String())
+	}
+	if (*Logger)(nil).With("k", "v") != nil {
+		t.Fatal("nil With must stay nil")
+	}
+}
+
+func TestLoggerOddPairs(t *testing.T) {
+	var b strings.Builder
+	l := fixedLogger(&b, LevelInfo, FormatKV)
+	l.Info("m", "dangling")
+	if !strings.Contains(b.String(), `dangling=(MISSING)`) {
+		t.Fatalf("line = %q", b.String())
+	}
+}
+
+func TestParseLevelAndFormat(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "INFO": LevelInfo, "warning": LevelWarn, "error": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("want error for unknown level")
+	}
+	for s, want := range map[string]Format{"kv": FormatKV, "logfmt": FormatKV, "JSON": FormatJSON} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+}
+
+func TestTracerFeedsHistograms(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, "pipe_duration_seconds", "pipe_stage_duration_seconds", "pipeline", "a", "b")
+	sp := tr.Start()
+	sp.Mark("a")
+	sp.Mark("b")
+	sp.Mark("unknown") // ignored
+	sp.End()
+	if tr.total.Count() != 1 {
+		t.Fatalf("total count = %d", tr.total.Count())
+	}
+	if tr.stages["a"].Count() != 1 || tr.stages["b"].Count() != 1 {
+		t.Fatal("stage histograms must get one observation each")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `pipe_stage_duration_seconds_count{stage="a"} 1`) {
+		t.Fatalf("missing stage series:\n%s", b.String())
+	}
+}

@@ -1,0 +1,321 @@
+// Package obs is the zero-dependency observability layer of the
+// reproduction: a concurrency-safe metrics registry (counters, gauges,
+// fixed-bucket histograms) with Prometheus text-format and JSON
+// exposition, a leveled structured logger, and a lightweight span tracer
+// for the per-tick estimation pipeline.
+//
+// Every type in the package is nil-safe: calling any method on a nil
+// *Counter, *Gauge, *Histogram, *Tracer, *Span or *Logger is a no-op
+// that performs zero allocations, so instrumented packages hold
+// possibly-nil handles and pay nothing until a daemon wires a registry
+// in (see shapley.Instrument, serial.Instrument, powerd.Instrument).
+//
+// Metric naming follows the Prometheus conventions: a vmpower_ prefix,
+// base units (seconds, watts, watt-hours), _total suffix on counters.
+// Label cardinality is bounded by construction — labels only carry VM
+// names, pipeline stage names, solver method names and endpoint paths,
+// all fixed at startup (see DESIGN.md §7).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value metric dimension.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates the families a Registry holds.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	labels []Label
+	v      atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric. Buckets are
+// cumulative in the exposition (Prometheus semantics): bucket i counts
+// observations <= bounds[i], plus an implicit +Inf bucket.
+type Histogram struct {
+	labels []Label
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DefDurationBuckets is the default latency bucket layout, spanning
+// 100 µs to 2.5 s — the 1 Hz pipeline budget with headroom on both ends.
+var DefDurationBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// family is one named metric with a fixed type and zero or more
+// labelled children.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]any // canonical label string → *Counter/*Gauge/*Histogram
+	order    []string
+}
+
+// Registry holds metric families and exposes them. All methods are safe
+// for concurrent use; registration is idempotent (same name + labels
+// returns the existing metric). A nil *Registry returns nil metrics,
+// giving the caller a free no-op instrumentation path.
+type Registry struct {
+	mu    sync.RWMutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// validateName panics on names outside the Prometheus charset. Metric
+// registration happens at daemon startup, so a bad name is programmer
+// error worth failing loudly on.
+func validateName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
+	}
+}
+
+// labelKey canonicalises a label set for child lookup.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	key := ""
+	for _, l := range labels {
+		key += l.Key + "\x00" + l.Value + "\x00"
+	}
+	return key
+}
+
+// fam returns the family, creating it if needed, and panics on a
+// type/layout conflict with an existing registration.
+func (r *Registry) fam(name, help string, kind metricKind, bounds []float64) *family {
+	validateName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: kind,
+			bounds:   append([]float64(nil), bounds...),
+			children: make(map[string]any),
+		}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, f.kind))
+	}
+	return f
+}
+
+// Counter registers (or fetches) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.fam(name, help, kindCounter, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := labelKey(labels)
+	if c, ok := f.children[key]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{labels: append([]Label(nil), labels...)}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// Gauge registers (or fetches) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.fam(name, help, kindGauge, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := labelKey(labels)
+	if g, ok := f.children[key]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{labels: append([]Label(nil), labels...)}
+	f.children[key] = g
+	f.order = append(f.order, key)
+	return g
+}
+
+// Histogram registers (or fetches) a histogram series. bounds must be
+// sorted ascending; nil uses DefDurationBuckets. All series of one
+// family share the first registration's bucket layout.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefDurationBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q has unsorted buckets", name))
+	}
+	f := r.fam(name, help, kindHistogram, bounds)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := labelKey(labels)
+	if h, ok := f.children[key]; ok {
+		return h.(*Histogram)
+	}
+	h := &Histogram{
+		labels: append([]Label(nil), labels...),
+		bounds: f.bounds,
+		counts: make([]atomic.Uint64, len(f.bounds)+1),
+	}
+	f.children[key] = h
+	f.order = append(f.order, key)
+	return h
+}

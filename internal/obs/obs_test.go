@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Idempotent registration returns the same series.
+	if r.Counter("test_events_total", "events") != c {
+		t.Fatal("re-registration must return the existing counter")
+	}
+	g := r.Gauge("test_watts", "watts", L("vm", "web"))
+	g.Set(12.5)
+	g.Add(0.5)
+	if g.Value() != 13 {
+		t.Fatalf("gauge = %g, want 13", g.Value())
+	}
+	// Distinct labels give a distinct series.
+	if r.Gauge("test_watts", "watts", L("vm", "db")) == g {
+		t.Fatal("different labels must give a different series")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.565) > 1e-12 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	// Raw (non-cumulative) per-bucket counts: <=0.01 gets 0.005 and 0.01
+	// (le boundary is inclusive), <=0.1 gets 0.05, <=1 gets 0.5, +Inf 5.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestNilSafetyZeroAllocs(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		l *Logger
+		r *Registry
+		s *Span
+	)
+	tr := (*Tracer)(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		h.Observe(2)
+		l.Info("dropped")
+		sp := tr.Start()
+		sp.Mark("x")
+		sp.End()
+		s.Mark("y")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil no-op path allocates %g times per run, want 0", allocs)
+	}
+	if r.Counter("x_total", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x_h", "", nil) != nil {
+		t.Fatal("nil registry must return nil metrics")
+	}
+	if err := r.WriteText(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "requests served", L("endpoint", "/api")).Add(3)
+	r.Gauge("app_temp_celsius", "temperature").Set(21.5)
+	h := r.Histogram("app_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE app_requests_total counter",
+		`app_requests_total{endpoint="/api"} 3`,
+		"# TYPE app_temp_celsius gauge",
+		"app_temp_celsius 21.5",
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 3`,
+		"app_latency_seconds_sum 2.55",
+		"app_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", L("path", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("bad escaping:\n%s", b.String())
+	}
+}
+
+func TestJSONSnapshotHandlesNonFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("inf_gauge", "").Set(math.Inf(1))
+	r.Histogram("h_seconds", "", []float64{1}).Observe(0.5)
+	ts := httptest.NewServer(r.HandlerJSON())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snaps []SeriesSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("series = %d, want 2", len(snaps))
+	}
+	if snaps[1].Count != 1 || len(snaps[1].Buckets) != 2 {
+		t.Fatalf("histogram snapshot = %+v", snaps[1])
+	}
+}
+
+func TestSnapshotJSONRoundTripsInf(t *testing.T) {
+	raw, err := json.Marshal(jsonFloat(math.Inf(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `"+Inf"` {
+		t.Fatalf("inf marshals to %s", raw)
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "")
+	h := r.Histogram("race_seconds", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				h.Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+	if c.Value() != 2000 {
+		t.Fatalf("counter = %d, want 2000", c.Value())
+	}
+	if h.Count() != 2000 {
+		t.Fatalf("histogram count = %d, want 2000", h.Count())
+	}
+}
+
+func TestRegistryPanicsOnConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("dup_total", "")
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "time"
+
+// Tracer measures the stages of a repeating pipeline (the 1 Hz tick:
+// snapshot → meter → worth → solve → normalize → publish) into one
+// latency histogram per stage plus a total-duration histogram. A span is
+// cheap enough to run every tick: one time.Now per stage boundary, no
+// allocations beyond the span itself.
+//
+// A nil *Tracer (uninstrumented pipeline) starts nil *Spans whose
+// methods are allocation-free no-ops.
+type Tracer struct {
+	total  *Histogram
+	stages map[string]*Histogram
+}
+
+// NewTracer registers a stage-latency histogram family stageName with a
+// {stage="..."} series per stage, and a total-duration histogram
+// totalName, all with DefDurationBuckets.
+func NewTracer(r *Registry, totalName, stageName, help string, stages ...string) *Tracer {
+	if r == nil {
+		return nil
+	}
+	t := &Tracer{
+		total:  r.Histogram(totalName, help, nil),
+		stages: make(map[string]*Histogram, len(stages)),
+	}
+	for _, s := range stages {
+		t.stages[s] = r.Histogram(stageName, help+" (per stage)", nil, L("stage", s))
+	}
+	return t
+}
+
+// Span is one traced pipeline pass.
+type Span struct {
+	t     *Tracer
+	start time.Time
+	last  time.Time
+}
+
+// Start begins a span. On a nil tracer it returns a nil span.
+func (t *Tracer) Start() *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return &Span{t: t, start: now, last: now}
+}
+
+// Mark ends the current stage: it observes the time since the previous
+// Mark (or Start) into the stage's histogram. Unknown stages are
+// ignored.
+func (s *Span) Mark(stage string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.t.stages[stage].Observe(now.Sub(s.last).Seconds())
+	s.last = now
+}
+
+// End finishes the span, observing the total duration since Start.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.total.Observe(time.Since(s.start).Seconds())
+}

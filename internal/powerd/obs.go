@@ -1,0 +1,166 @@
+package powerd
+
+import (
+	"net/http"
+	"time"
+
+	"vmpower/internal/core"
+	"vmpower/internal/meter/serial"
+	"vmpower/internal/obs"
+	"vmpower/internal/shapley"
+)
+
+// tickStages are the pipeline stages of one estimation tick, in order.
+// The first five are marked by core.EstimateTickSpan; "publish" is the
+// daemon's own record/publish step.
+var tickStages = []string{"snapshot", "meter", "worth", "solve", "normalize", "publish"}
+
+// endpoints is the daemon's HTTP surface, enumerated so the per-endpoint
+// request metrics have a fixed, bounded label set.
+var endpoints = []string{
+	"/api/v1/status",
+	"/api/v1/allocation",
+	"/api/v1/history",
+	"/api/v1/energy",
+	"/api/v1/interactions",
+	"/healthz",
+	"/metrics",
+	"/metrics.json",
+}
+
+// serverObs bundles the daemon's observability surface. All methods are
+// nil-safe: an uninstrumented Server carries a nil *serverObs and pays
+// one atomic load per tick/request.
+type serverObs struct {
+	reg      *obs.Registry
+	log      *obs.Logger
+	tracer   *obs.Tracer
+	interval time.Duration
+
+	ticks      *obs.Counter
+	tickErrors *obs.Counter
+	lastTick   *obs.Gauge
+	calibrated *obs.Gauge
+	idleWatts  *obs.Gauge
+	measured   *obs.Gauge
+	vmWatts    map[string]*obs.Gauge
+
+	http map[string]httpMetrics
+}
+
+type httpMetrics struct {
+	reqs *obs.Counter
+	lat  *obs.Histogram
+}
+
+// Instrument activates metrics, tracing and structured logging for the
+// daemon, and instruments the shapley and serial packages on the same
+// registry so one scrape covers the whole pipeline. Call it before
+// Handler so /metrics and /metrics.json are mounted. interval is the
+// expected Step cadence (the /healthz stall threshold is 3x it); <= 0
+// defaults to 1 s. Instrument(nil, ...) deactivates everything.
+func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Duration) {
+	if reg == nil {
+		s.telemetry.Store(nil)
+		shapley.Instrument(nil)
+		serial.Instrument(nil)
+		return
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	o := &serverObs{
+		reg:      reg,
+		log:      log,
+		interval: interval,
+		tracer: obs.NewTracer(reg,
+			"vmpower_tick_duration_seconds",
+			"vmpower_tick_stage_duration_seconds",
+			"estimation tick latency", tickStages...),
+		ticks:      reg.Counter("vmpower_ticks_total", "estimation ticks completed"),
+		tickErrors: reg.Counter("vmpower_tick_errors_total", "estimation ticks that failed"),
+		lastTick:   reg.Gauge("vmpower_last_tick_timestamp_seconds", "unix time of the last successful tick"),
+		calibrated: reg.Gauge("vmpower_calibrated", "1 when the estimator is trained"),
+		idleWatts:  reg.Gauge("vmpower_idle_watts", "idle power established by calibration"),
+		measured:   reg.Gauge("vmpower_measured_watts", "machine power measured at the last tick"),
+		vmWatts:    make(map[string]*obs.Gauge, len(s.names)),
+		http:       make(map[string]httpMetrics, len(endpoints)),
+	}
+	for _, name := range s.names {
+		o.vmWatts[name] = reg.Gauge("vmpower_vm_watts",
+			"per-VM attributed power at the last tick", obs.L("vm", name))
+	}
+	for _, p := range endpoints {
+		o.http[p] = httpMetrics{
+			reqs: reg.Counter("vmpower_http_requests_total",
+				"HTTP requests served", obs.L("path", p)),
+			lat: reg.Histogram("vmpower_http_request_duration_seconds",
+				"HTTP request latency", obs.DefDurationBuckets, obs.L("path", p)),
+		}
+	}
+	shapley.Instrument(reg)
+	serial.Instrument(reg)
+	s.telemetry.Store(o)
+}
+
+func (o *serverObs) span() *obs.Span {
+	if o == nil {
+		return nil
+	}
+	return o.tracer.Start()
+}
+
+// noteTick publishes the gauges of a successful tick and emits the
+// per-tick debug line. The Enabled guard keeps the variadic argument
+// slice off the 1 Hz hot path unless debug logging is on.
+func (o *serverObs) noteTick(now time.Time, trained bool, idle float64, alloc *core.Allocation, wire *AllocationJSON) {
+	if o == nil {
+		return
+	}
+	o.ticks.Inc()
+	o.lastTick.Set(float64(now.UnixNano()) / 1e9)
+	if trained {
+		o.calibrated.Set(1)
+	} else {
+		o.calibrated.Set(0)
+	}
+	o.idleWatts.Set(idle)
+	o.measured.Set(alloc.MeasuredPower)
+	for name, w := range wire.PerVM {
+		o.vmWatts[name].Set(w)
+	}
+	if o.log.Enabled(obs.LevelDebug) {
+		o.log.Debug("tick",
+			"tick", alloc.Tick,
+			"measured_watts", alloc.MeasuredPower,
+			"dynamic_watts", alloc.DynamicPower,
+			"method", alloc.Method)
+	}
+}
+
+func (o *serverObs) noteTickError(err error) {
+	if o == nil {
+		return
+	}
+	o.tickErrors.Inc()
+	o.log.Error("tick failed", "err", err)
+}
+
+// instrumented wraps an endpoint handler with the per-path request
+// counter and latency histogram. Uninstrumented servers dispatch
+// straight through (one atomic load, no time.Now).
+func (s *Server) instrumented(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		o := s.telemetry.Load()
+		if o == nil {
+			h(w, r)
+			return
+		}
+		start := time.Now()
+		h(w, r)
+		if hm, ok := o.http[path]; ok {
+			hm.reqs.Inc()
+			hm.lat.Observe(time.Since(start).Seconds())
+		}
+	}
+}

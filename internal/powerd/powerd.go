@@ -12,6 +12,8 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"vmpower/internal/core"
 	"vmpower/internal/hypervisor"
@@ -46,14 +48,22 @@ type Server struct {
 	est   *core.Estimator
 	names []string
 
-	mu       sync.RWMutex
-	latest   *AllocationJSON
-	lastSnap *hypervisor.Snapshot
-	lastPow  float64
-	history  []*AllocationJSON
-	histCap  int
-	energyWs map[string]float64
-	ticks    int
+	// telemetry is nil until Instrument; Step and the HTTP middleware
+	// pay one atomic load to find out.
+	telemetry atomic.Pointer[serverObs]
+	now       func() time.Time
+	createdAt time.Time
+
+	mu         sync.RWMutex
+	latest     *AllocationJSON
+	lastSnap   *hypervisor.Snapshot
+	lastPow    float64
+	history    []*AllocationJSON
+	histCap    int
+	energyWs   map[string]float64
+	ticks      int
+	lastTickAt time.Time
+	lastErr    string
 }
 
 // InteractionsJSON is the wire form of the live interference matrix.
@@ -78,10 +88,12 @@ func New(est *core.Estimator, names []string, historySize int) (*Server, error) 
 		historySize = 300
 	}
 	return &Server{
-		est:      est,
-		names:    append([]string(nil), names...),
-		histCap:  historySize,
-		energyWs: make(map[string]float64, len(names)),
+		est:       est,
+		names:     append([]string(nil), names...),
+		histCap:   historySize,
+		energyWs:  make(map[string]float64, len(names)),
+		now:       time.Now,
+		createdAt: time.Now(),
 	}, nil
 }
 
@@ -96,19 +108,28 @@ func New(est *core.Estimator, names []string, historySize int) (*Server, error) 
 // observes one coherent tick, never a fresh allocation paired with a
 // stale snapshot.
 func (s *Server) Step() (*core.Allocation, error) {
+	o := s.telemetry.Load()
+	sp := o.span()
 	s.est.Host().Advance(1)
-	alloc, err := s.est.EstimateTick()
+	alloc, err := s.est.EstimateTickSpan(sp)
 	if err != nil {
+		o.noteTickError(err)
+		s.mu.Lock()
+		s.lastErr = err.Error()
+		s.mu.Unlock()
 		return nil, err
 	}
 	snap := s.est.Host().Collect()
-	s.record(alloc, &snap)
+	wire := s.record(alloc, &snap)
+	sp.Mark("publish")
+	sp.End()
+	o.noteTick(s.now(), s.est.Trained(), s.est.IdlePower(), alloc, wire)
 	return alloc, nil
 }
 
 // record atomically publishes one tick's allocation together with the
-// snapshot it was computed from.
-func (s *Server) record(alloc *core.Allocation, snap *hypervisor.Snapshot) {
+// snapshot it was computed from, and returns the wire form.
+func (s *Server) record(alloc *core.Allocation, snap *hypervisor.Snapshot) *AllocationJSON {
 	wire := &AllocationJSON{
 		Tick:          alloc.Tick,
 		MeasuredWatts: alloc.MeasuredPower,
@@ -134,6 +155,9 @@ func (s *Server) record(alloc *core.Allocation, snap *hypervisor.Snapshot) {
 		s.history = s.history[len(s.history)-s.histCap:]
 	}
 	s.ticks++
+	s.lastTickAt = s.now()
+	s.lastErr = ""
+	return wire
 }
 
 // Handler returns the HTTP API:
@@ -143,14 +167,79 @@ func (s *Server) record(alloc *core.Allocation, snap *hypervisor.Snapshot) {
 //	GET /api/v1/history?n=K — the last K allocations (default all buffered)
 //	GET /api/v1/energy     — cumulative per-VM energy in watt-hours
 //	GET /api/v1/interactions — the live pairwise interference matrix
+//	GET /healthz           — liveness: 503 when the loop stalls or errors
+//
+// When the server is instrumented (call Instrument before Handler), the
+// mux additionally serves GET /metrics (Prometheus text format) and
+// GET /metrics.json.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/v1/status", s.handleStatus)
-	mux.HandleFunc("GET /api/v1/allocation", s.handleAllocation)
-	mux.HandleFunc("GET /api/v1/history", s.handleHistory)
-	mux.HandleFunc("GET /api/v1/energy", s.handleEnergy)
-	mux.HandleFunc("GET /api/v1/interactions", s.handleInteractions)
+	mux.HandleFunc("GET /api/v1/status", s.instrumented("/api/v1/status", s.handleStatus))
+	mux.HandleFunc("GET /api/v1/allocation", s.instrumented("/api/v1/allocation", s.handleAllocation))
+	mux.HandleFunc("GET /api/v1/history", s.instrumented("/api/v1/history", s.handleHistory))
+	mux.HandleFunc("GET /api/v1/energy", s.instrumented("/api/v1/energy", s.handleEnergy))
+	mux.HandleFunc("GET /api/v1/interactions", s.instrumented("/api/v1/interactions", s.handleInteractions))
+	mux.HandleFunc("GET /healthz", s.instrumented("/healthz", s.handleHealthz))
+	if o := s.telemetry.Load(); o != nil {
+		mux.HandleFunc("GET /metrics", s.instrumented("/metrics", o.reg.Handler().ServeHTTP))
+		mux.HandleFunc("GET /metrics.json", s.instrumented("/metrics.json", o.reg.HandlerJSON().ServeHTTP))
+	}
 	return mux
+}
+
+// HealthJSON is the wire form of /healthz.
+type HealthJSON struct {
+	// Status is "ok", "starting" (no tick yet, within the stall
+	// threshold), "stalled" (no tick for more than 3 intervals) or
+	// "error" (the last Step failed).
+	Status     string `json:"status"`
+	Calibrated bool   `json:"calibrated"`
+	Ticks      int    `json:"ticks_estimated"`
+	// LastTickAgeSeconds is the age of the last successful tick; absent
+	// before the first one.
+	LastTickAgeSeconds float64 `json:"last_tick_age_seconds,omitempty"`
+	Error              string  `json:"error,omitempty"`
+}
+
+// handleHealthz reports loop liveness: 200 while ticks are landing on
+// schedule, 503 once the loop has gone quiet for more than three
+// intervals (the Instrument cadence, default 1 s) or the last Step
+// failed — which is also how a dead meter surfaces, since Step's meter
+// read errors out after bounded dropout retries.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	interval := time.Second
+	if o := s.telemetry.Load(); o != nil {
+		interval = o.interval
+	}
+	stallAfter := 3 * interval
+	now := s.now()
+	s.mu.RLock()
+	ticks := s.ticks
+	lastTickAt := s.lastTickAt
+	lastErr := s.lastErr
+	s.mu.RUnlock()
+	h := HealthJSON{Calibrated: s.est.Trained(), Ticks: ticks}
+	status := http.StatusOK
+	switch {
+	case lastErr != "":
+		h.Status = "error"
+		h.Error = lastErr
+		status = http.StatusServiceUnavailable
+	case ticks == 0:
+		h.Status = "starting"
+		if now.Sub(s.createdAt) > stallAfter {
+			h.Status = "stalled"
+			status = http.StatusServiceUnavailable
+		}
+	default:
+		h.Status = "ok"
+		h.LastTickAgeSeconds = now.Sub(lastTickAt).Seconds()
+		if now.Sub(lastTickAt) > stallAfter {
+			h.Status = "stalled"
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, h)
 }
 
 // handleInteractions serves the live pairwise interference matrix of the

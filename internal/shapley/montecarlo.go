@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"vmpower/internal/vm"
 )
@@ -89,6 +90,12 @@ type worthCache struct {
 	n     int
 	mu    sync.RWMutex
 	m     map[vm.Coalition]float64
+
+	// hits/misses count lookups in the cacheable size band; MonteCarlo
+	// folds them into the package metrics after the solve so the hot
+	// path touches only these local atomics.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 func newWorthCache(n int, worth WorthFunc) *worthCache {
@@ -104,8 +111,10 @@ func (c *worthCache) eval(s vm.Coalition) float64 {
 	v, ok := c.m[s]
 	c.mu.RUnlock()
 	if ok {
+		c.hits.Add(1)
 		return v
 	}
+	c.misses.Add(1)
 	v = c.worth(s)
 	c.mu.Lock()
 	c.m[s] = v
@@ -152,9 +161,13 @@ func MonteCarlo(n int, worth WorthFunc, opts MCOptions) (*MCResult, error) {
 		totalUnits = (perms + 1) / 2
 	}
 
+	met := metrics()
+	start := met.startTimer()
 	eval := worth
+	var cache *worthCache
 	if !opts.NoWorthCache && n > 1 {
-		eval = newWorthCache(n, worth).eval
+		cache = newWorthCache(n, worth)
+		eval = cache.eval
 	}
 
 	walk := func(ord []int, out []float64, scale float64) {
@@ -266,6 +279,8 @@ func MonteCarlo(n int, worth WorthFunc, opts MCOptions) (*MCResult, error) {
 		res.Phi[i] = sum[i] / float64(done)
 		res.StdErr[i] = stdErr(sum[i], sumSq[i], done)
 	}
+	met.observeMC(start)
+	met.noteMC(res, done < totalUnits, cache)
 	return res, nil
 }
 

@@ -103,6 +103,8 @@ func TabulateParallel(n int, worth WorthFunc, parallelism int) ([]float64, error
 	if worth == nil {
 		return nil, ErrNilWorth
 	}
+	m := metrics()
+	start := m.startTimer()
 	table := make([]float64, 1<<uint(n))
 	shards := exactShards(n)
 	per := len(table) / shards
@@ -113,6 +115,7 @@ func TabulateParallel(n int, worth WorthFunc, parallelism int) ([]float64, error
 			table[s] = worth(vm.Coalition(s))
 		}
 	})
+	m.observeTabulate(start)
 	return table, nil
 }
 
@@ -135,6 +138,8 @@ func ExactFromTableParallel(n int, table []float64, parallelism int) ([]float64,
 	if err != nil {
 		return nil, err
 	}
+	m := metrics()
+	start := m.startTimer()
 	shards := exactShards(n)
 	per := len(table) / shards
 	partials := make([]float64, shards*n)
@@ -161,6 +166,7 @@ func ExactFromTableParallel(n int, table []float64, parallelism int) ([]float64,
 			phi[i] += part[i]
 		}
 	}
+	m.observeAccumulate(start)
 	return phi, nil
 }
 

@@ -76,10 +76,13 @@ func Tabulate(n int, worth WorthFunc) ([]float64, error) {
 	if worth == nil {
 		return nil, ErrNilWorth
 	}
+	m := metrics()
+	start := m.startTimer()
 	table := make([]float64, 1<<uint(n))
 	for s := range table {
 		table[s] = worth(vm.Coalition(s))
 	}
+	m.observeTabulate(start)
 	return table, nil
 }
 
@@ -96,6 +99,8 @@ func ExactFromTable(n int, table []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := metrics()
+	start := m.startTimer()
 	phi := make([]float64, n)
 	total := vm.Coalition(1) << uint(n)
 	for s := vm.Coalition(0); s < total; s++ {
@@ -109,6 +114,7 @@ func ExactFromTable(n int, table []float64) ([]float64, error) {
 			phi[i] += w[size] * (table[s.With(id)] - vs)
 		}
 	}
+	m.observeAccumulate(start)
 	return phi, nil
 }
 
