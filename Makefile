@@ -4,7 +4,7 @@ GO ?= go
 # Benchtime for the bench-json snapshot; 1x keeps `make verify` fast.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race bench bench-json verify experiments csv cover fmt vet clean
+.PHONY: all build test race bench bench-json verify experiments csv cover fmt vet clean fuzz-short golden
 
 all: build test
 
@@ -42,11 +42,30 @@ csv:
 cover:
 	$(GO) test -cover ./...
 
+# A short pass over every fuzz target — enough to catch regressions in the
+# frame decoder, stream resync, model loader, workload CSV parser and the
+# history query endpoint without tying up CI.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/meter/serial/
+	$(GO) test -run '^$$' -fuzz '^FuzzReaderResync$$' -fuzztime $(FUZZTIME) ./internal/meter/serial/
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadModel$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz '^FuzzHistoryQuery$$' -fuzztime $(FUZZTIME) ./internal/powerd/
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceFromCSV$$' -fuzztime $(FUZZTIME) ./internal/workload/
+	$(GO) test -run '^$$' -fuzz '^FuzzGeneratorTicks$$' -fuzztime $(FUZZTIME) ./internal/workload/
+
+# Re-pin the golden experiment outputs after an intentional change to the
+# simulation, calibration or solvers.
+golden:
+	$(GO) test ./internal/experiments/ -run TestGoldenExperimentOutputs -update
+
 fmt:
 	gofmt -w .
 
 vet:
 	$(GO) vet ./...
 
+# Golden pins under results/golden/ are tracked in git and survive clean;
+# everything else under results/ is regenerable via `make csv`.
 clean:
-	rm -rf results test_output.txt bench_output.txt BENCH_*.json
+	rm -f results/*.csv test_output.txt bench_output.txt BENCH_*.json

@@ -35,6 +35,7 @@ import (
 
 	"vmpower/internal/cliutil"
 	"vmpower/internal/core"
+	"vmpower/internal/faults"
 	"vmpower/internal/hypervisor"
 	"vmpower/internal/machine"
 	"vmpower/internal/meter"
@@ -62,7 +63,10 @@ func run() error {
 		loadModel = flag.String("load-model", "", "skip the offline phase and load a model written by -save-model")
 		par       = flag.Int("parallelism", 0, "Shapley engine workers (0 = all cores, 1 = serial); allocations are identical at any setting")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		holdover  = flag.Int("holdover", 10, "serve from the last good meter sample for up to this many ticks during an outage (negative disables)")
+		stuckAt   = flag.Int("stuck-threshold", 0, "reject a reading repeated this many times in a row as a stuck meter (0 disables)")
 		logCfg    = cliutil.LogFlags(nil)
+		faultCfg  = cliutil.FaultFlags(nil)
 	)
 	flag.Parse()
 
@@ -93,17 +97,36 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	m, err := meter.NewSim(host.PowerSource(), meter.SimOptions{
+	sim, err := meter.NewSim(host.PowerSource(), meter.SimOptions{
 		NoiseStdDev: 0.25, Resolution: 0.1, Seed: *seed,
 	})
 	if err != nil {
 		return err
 	}
+	var m meter.Meter = sim
+	var injector *faults.Meter
+	if faultCfg.Active() {
+		opts, err := faultCfg.Options(*seed)
+		if err != nil {
+			return err
+		}
+		// The injector starts disarmed, so calibration below always sees
+		// the clean meter; chaos is armed just before the serve loop.
+		if injector, err = faults.Wrap(sim, opts); err != nil {
+			return err
+		}
+		m = injector
+	}
 	parallelism := *par
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	est, err := core.New(host, m, core.Config{Seed: *seed, Parallelism: parallelism})
+	est, err := core.New(host, m, core.Config{
+		Seed:           *seed,
+		Parallelism:    parallelism,
+		HoldoverTicks:  *holdover,
+		StuckThreshold: *stuckAt,
+	})
 	if err != nil {
 		return err
 	}
@@ -161,6 +184,13 @@ func run() error {
 	reg := obs.NewRegistry()
 	srv.Instrument(reg, logger, *interval)
 
+	if injector != nil {
+		injector.SetArmed(true)
+		logger.Info("fault injection armed",
+			"dropout", faultCfg.Dropout, "spike", faultCfg.Spike,
+			"nan", faultCfg.NaN, "stuck", faultCfg.Stuck)
+	}
+
 	var handler http.Handler = srv.Handler()
 	if *pprofOn {
 		outer := http.NewServeMux()
@@ -196,7 +226,11 @@ func run() error {
 		case err := <-errCh:
 			return err
 		case <-ticker.C:
-			if _, err := srv.Step(); err != nil {
+			_, err := srv.Step()
+			if injector != nil {
+				injector.NextTick()
+			}
+			if err != nil {
 				shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 				_ = httpSrv.Shutdown(shutdownCtx)
 				cancel()

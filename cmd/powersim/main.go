@@ -47,6 +47,7 @@ func run() error {
 		record      = flag.String("record", "", "write a replay trace (JSON lines) to this file; feed it to vmbill -replay")
 		par         = flag.Int("parallelism", 0, "Shapley engine workers (0 = all cores, 1 = serial); allocations are identical at any setting")
 		logCfg      = cliutil.LogFlags(nil)
+		faultCfg    = cliutil.FaultFlags(nil)
 	)
 	flag.Parse()
 
@@ -87,6 +88,19 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+
+	if faultCfg.Active() {
+		opts, err := faultCfg.Options(*seed)
+		if err != nil {
+			return err
+		}
+		if err := sys.InjectFaults(opts); err != nil {
+			return err
+		}
+		logger.Info("fault injection enabled",
+			"dropout", opts.DropoutProb, "spike", opts.SpikeProb,
+			"nan", opts.NaNProb, "stuck", faultCfg.Stuck, "seed", opts.Seed)
 	}
 
 	logger.Info("calibrating", "vms", len(specs), "machine", *machineName)
@@ -151,7 +165,11 @@ func run() error {
 		fmt.Println()
 	}
 
-	return sys.Run(*ticks, func(a *vmpower.Allocation) bool {
+	var degradedTicks int
+	err = sys.Run(*ticks, func(a *vmpower.Allocation) bool {
+		if a.Degraded() {
+			degradedTicks++
+		}
 		if *csv {
 			fmt.Printf("%d,%.2f,%.2f", a.Tick(), a.MeasuredPower(), a.DynamicPower())
 			for _, n := range names {
@@ -163,6 +181,9 @@ func run() error {
 			for _, n := range names {
 				fmt.Printf(" %9.2f", a.Watts(n))
 			}
+			if a.Degraded() {
+				fmt.Printf("  degraded(%s, age %d)", a.DegradedReason(), a.HoldoverAge())
+			}
 			fmt.Println()
 		}
 		if *interval > 0 {
@@ -170,4 +191,12 @@ func run() error {
 		}
 		return true
 	})
+	if faultCfg.Active() {
+		c := sys.FaultCounts()
+		logger.Info("fault summary",
+			"degraded_ticks", degradedTicks,
+			"dropouts", c.Dropouts, "spikes", c.Spikes, "nans", c.NaNs,
+			"stuck", c.Stuck, "errors", c.Errors)
+	}
+	return err
 }

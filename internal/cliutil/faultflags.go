@@ -1,0 +1,89 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vmpower/internal/faults"
+)
+
+// FaultConfig carries the shared -fault-* flag set that wires the
+// deterministic chaos injector (internal/faults) into a command's meter.
+// Every command registers it through FaultFlags so the tools agree on the
+// flag names, defaults and accepted values.
+type FaultConfig struct {
+	Dropout     float64
+	Spike       float64
+	SpikeFactor float64
+	NaN         float64
+	Stuck       string
+	Seed        int64
+}
+
+// FaultFlags registers the -fault-* flags on fs (the default CommandLine
+// set when fs is nil) and returns the destination config.
+func FaultFlags(fs *flag.FlagSet) *FaultConfig {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c := &FaultConfig{}
+	fs.Float64Var(&c.Dropout, "fault-dropout", 0, "per-sample meter dropout probability in [0,1)")
+	fs.Float64Var(&c.Spike, "fault-spike", 0, "per-sample spike probability in [0,1)")
+	fs.Float64Var(&c.SpikeFactor, "fault-spike-factor", 0, "spike multiplier (0 = injector default of 10)")
+	fs.Float64Var(&c.NaN, "fault-nan", 0, "per-sample NaN reading probability in [0,1)")
+	fs.StringVar(&c.Stuck, "fault-stuck", "", "stuck-at episode as start:len in ticks (e.g. 100:12)")
+	fs.Int64Var(&c.Seed, "fault-seed", 0, "fault injector seed (0 = reuse the run seed)")
+	return c
+}
+
+// Active reports whether any fault was requested, so commands can skip
+// the wrapper entirely on a clean run.
+func (c *FaultConfig) Active() bool {
+	return c.Dropout > 0 || c.Spike > 0 || c.NaN > 0 || c.Stuck != ""
+}
+
+// Options translates the parsed flags into injector options. seed is the
+// command's run seed, used when -fault-seed is left at 0 so a single
+// -seed flag still reproduces the whole run.
+func (c *FaultConfig) Options(seed int64) (faults.Options, error) {
+	o := faults.Options{
+		Seed:        c.Seed,
+		DropoutProb: c.Dropout,
+		SpikeProb:   c.Spike,
+		SpikeFactor: c.SpikeFactor,
+		NaNProb:     c.NaN,
+	}
+	if o.Seed == 0 {
+		o.Seed = seed
+	}
+	if c.Stuck != "" {
+		start, length, err := parseEpisodeWindow(c.Stuck)
+		if err != nil {
+			return faults.Options{}, fmt.Errorf("-fault-stuck: %w", err)
+		}
+		o.Episodes = append(o.Episodes, faults.Episode{
+			Start: start, Len: length, Kind: faults.StuckAt,
+		})
+	}
+	return o, nil
+}
+
+// parseEpisodeWindow parses a "start:len" tick window.
+func parseEpisodeWindow(s string) (start, length int, err error) {
+	head, tail, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want start:len, got %q", s)
+	}
+	if start, err = strconv.Atoi(head); err != nil {
+		return 0, 0, fmt.Errorf("bad start %q: %w", head, err)
+	}
+	if length, err = strconv.Atoi(tail); err != nil {
+		return 0, 0, fmt.Errorf("bad len %q: %w", tail, err)
+	}
+	if start < 0 || length <= 0 {
+		return 0, 0, fmt.Errorf("window [%d,+%d) is empty or negative", start, length)
+	}
+	return start, length, nil
+}

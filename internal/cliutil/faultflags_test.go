@@ -1,0 +1,59 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+
+	"vmpower/internal/faults"
+)
+
+func TestFaultFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := FaultFlags(fs)
+	if c.Active() {
+		t.Fatal("default config must be inactive")
+	}
+	err := fs.Parse([]string{
+		"-fault-dropout", "0.3", "-fault-spike", "0.01", "-fault-spike-factor", "8",
+		"-fault-nan", "0.02", "-fault-stuck", "100:12",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Active() {
+		t.Fatal("config with faults must be active")
+	}
+	opts, err := c.Options(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faults.Options{
+		Seed: 42, DropoutProb: 0.3, SpikeProb: 0.01, SpikeFactor: 8, NaNProb: 0.02,
+		Episodes: []faults.Episode{{Start: 100, Len: 12, Kind: faults.StuckAt}},
+	}
+	if opts.Seed != want.Seed || opts.DropoutProb != want.DropoutProb ||
+		opts.SpikeProb != want.SpikeProb || opts.SpikeFactor != want.SpikeFactor ||
+		opts.NaNProb != want.NaNProb || len(opts.Episodes) != 1 ||
+		opts.Episodes[0] != want.Episodes[0] {
+		t.Fatalf("options %+v, want %+v", opts, want)
+	}
+
+	// An explicit injector seed wins over the run seed.
+	c.Seed = 7
+	opts, err = c.Options(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Seed != 7 {
+		t.Fatalf("seed %d, want 7", opts.Seed)
+	}
+}
+
+func TestFaultFlagsBadStuckWindow(t *testing.T) {
+	for _, bad := range []string{"x", "10", "a:b", "10:", ":5", "-1:5", "10:0"} {
+		c := &FaultConfig{Stuck: bad}
+		if _, err := c.Options(1); err == nil {
+			t.Fatalf("stuck window %q must fail", bad)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 
@@ -58,6 +59,39 @@ func (a IdleAttribution) String() string {
 		return "proportional"
 	default:
 		return fmt.Sprintf("attribution(%d)", int(a))
+	}
+}
+
+// FallbackPolicy selects the degraded-mode allocation served when the
+// worth evaluation or the solver fails mid-tick (e.g. a corrupted model
+// reload): the estimator can keep serving a plausible split instead of
+// erroring the tick.
+type FallbackPolicy int
+
+const (
+	// FallbackNone propagates solver/worth errors (the strict default).
+	FallbackNone FallbackPolicy = iota
+	// FallbackProportional serves a usage-proportional (CPU-share) split
+	// of the dynamic power, flagged Degraded.
+	FallbackProportional
+	// FallbackHold re-serves the previous successful allocation's
+	// proportions rescaled to the current dynamic power, flagged
+	// Degraded; it degenerates to the proportional split before the
+	// first success.
+	FallbackHold
+)
+
+// String names the fallback policy.
+func (p FallbackPolicy) String() string {
+	switch p {
+	case FallbackNone:
+		return "none"
+	case FallbackProportional:
+		return "proportional"
+	case FallbackHold:
+		return "hold"
+	default:
+		return fmt.Sprintf("fallback(%d)", int(p))
 	}
 }
 
@@ -101,6 +135,34 @@ type Config struct {
 	// any setting: the engine's decomposition never depends on the
 	// worker count (see internal/shapley/parallel.go).
 	Parallelism int
+	// MeterRetries bounds the in-tick meter reads spent riding out
+	// dropouts and rejected (implausible) readings before the tick
+	// degrades to holdover. Default 32 (the paper's 1 Hz feed loses at
+	// most a couple of readings per glitch).
+	MeterRetries int
+	// HoldoverTicks is the staleness bound of the last-good-sample
+	// holdover: when every meter read of a tick fails, the estimator
+	// re-serves the last good reading — flagged Degraded — for up to this
+	// many ticks before EstimateTick returns ErrMeterLost. 0 defaults to
+	// 10; negative disables holdover entirely (any exhausted tick is a
+	// terminal error, the pre-resilience semantics).
+	HoldoverTicks int
+	// PlausibilityMargin widens the calibrated plausibility band
+	// [idle/2, peak·(1+margin)] readings must fall in; readings outside
+	// it are rejected as implied dropouts (a spiking or zeroed meter is a
+	// broken meter, not a 10x machine). 0 defaults to 0.5; negative
+	// disables the band. Non-finite readings are always rejected. The
+	// band needs a calibrated peak, so it is inert before CollectOffline
+	// (or after loading a model saved without one).
+	PlausibilityMargin float64
+	// StuckThreshold is the consecutive-identical-reading count past
+	// which the meter is presumed stuck and further identical readings
+	// are rejected as implied dropouts. 0 (the default) disables
+	// detection: noiseless simulated meters legitimately repeat readings.
+	StuckThreshold int
+	// Fallback selects the degraded-mode allocation policy on
+	// solver/worth failure. Default FallbackNone.
+	Fallback FallbackPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +184,15 @@ func (c Config) withDefaults() Config {
 	case c.Parallelism < 0:
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.MeterRetries <= 0 {
+		c.MeterRetries = 32
+	}
+	if c.HoldoverTicks == 0 {
+		c.HoldoverTicks = 10
+	}
+	if c.PlausibilityMargin == 0 {
+		c.PlausibilityMargin = 0.5
+	}
 	return c
 }
 
@@ -142,9 +213,25 @@ type Allocation struct {
 	// IdlePerVM is each VM's idle-power share under the configured
 	// attribution rule (nil for IdleNone).
 	IdlePerVM []float64
-	// Method records how the Shapley value was computed ("exact" or
-	// "montecarlo").
+	// Method records how the Shapley value was computed ("exact",
+	// "montecarlo" or "fallback" for a degraded-mode split).
 	Method string
+	// Degraded marks an allocation produced under fault handling: the
+	// measured power is a held-over stale sample, or the shares came from
+	// the fallback policy rather than the Shapley solver. Degraded
+	// allocations are still efficient against MeasuredPower but carry
+	// reduced confidence.
+	Degraded bool
+	// DegradedReason says why ("holdover: ..." or "fallback: ...");
+	// empty on clean ticks.
+	DegradedReason string
+	// HoldoverAgeTicks is the age of the meter sample backing this
+	// allocation: 0 when fresh, otherwise ticks since the last good
+	// reading.
+	HoldoverAgeTicks int
+	// RejectedSamples counts implausible meter readings (non-finite,
+	// out-of-band, stuck-at) discarded while producing this tick.
+	RejectedSamples int
 }
 
 // Total returns VM id's total attributed power (dynamic + idle share).
@@ -165,7 +252,17 @@ type Estimator struct {
 	cfg     Config
 
 	idlePower float64
+	peakPower float64
 	trained   bool
+
+	// Online fault-handling state, touched only by the (single)
+	// estimation goroutine — see EstimateTickSpan.
+	lastGood     meter.Sample
+	lastGoodTick int
+	haveGood     bool
+	stuckRun     int
+	lastRaw      float64
+	lastShares   []float64
 }
 
 // New builds an Estimator over a host and a meter.
@@ -212,15 +309,34 @@ func (e *Estimator) Approximator() *vhc.Approximator { return e.approx }
 // IdlePower returns the idle power established during offline collection.
 func (e *Estimator) IdlePower() float64 { return e.idlePower }
 
+// PeakPower returns the largest power reading observed during offline
+// collection — the upper anchor of the plausibility band (0 before
+// calibration or after loading a model saved without one).
+func (e *Estimator) PeakPower() float64 { return e.peakPower }
+
 // Trained reports whether offline collection has completed.
 func (e *Estimator) Trained() bool { return e.trained }
 
+// SetMeter swaps the estimator's meter — the injection point for fault
+// wrappers (see internal/faults) and for replacing a failed transport.
+// Not safe concurrently with estimation or collection; swap between
+// phases.
+func (e *Estimator) SetMeter(m meter.Meter) error {
+	if m == nil {
+		return errors.New("core: nil meter")
+	}
+	e.m = m
+	return nil
+}
+
 // sampleMeter reads the meter, retrying past dropouts (a real 1 Hz meter
 // occasionally misses a reading; the paper's pipeline just waits for the
-// next one). It fails after maxDropouts consecutive losses.
+// next one). It fails after MeterRetries consecutive losses. This is the
+// strict path used by offline collection, where a broken meter must abort
+// rather than silently poison the v(S,C) table; the online path layers
+// holdover and plausibility gating on top (sampleMeterResilient).
 func (e *Estimator) sampleMeter() (meter.Sample, error) {
-	const maxDropouts = 32
-	for i := 0; i < maxDropouts; i++ {
+	for i := 0; i < e.cfg.MeterRetries; i++ {
 		s, err := e.m.Sample()
 		if err == nil {
 			return s, nil
@@ -229,7 +345,99 @@ func (e *Estimator) sampleMeter() (meter.Sample, error) {
 			return meter.Sample{}, err
 		}
 	}
-	return meter.Sample{}, fmt.Errorf("core: %d consecutive meter dropouts", maxDropouts)
+	return meter.Sample{}, fmt.Errorf("core: %d consecutive meter dropouts", e.cfg.MeterRetries)
+}
+
+// ErrMeterLost is returned by online estimation when the meter has
+// produced no plausible reading for longer than the holdover staleness
+// bound — the point past which serving held-over allocations would be
+// fiction rather than degradation.
+var ErrMeterLost = errors.New("core: meter signal lost beyond holdover bound")
+
+// meterRead is one resilient meter acquisition: the sample to estimate
+// with plus the degradation bookkeeping the tick's Allocation reports.
+type meterRead struct {
+	sample   meter.Sample
+	degraded bool
+	age      int // ticks since the sample was actually measured
+	rejected int // implausible readings discarded this tick
+	reason   string
+}
+
+// rejectReason classifies a reading against the plausibility gates:
+// non-finite values, values outside the calibrated idle/peak band, and
+// stuck-at runs. It returns "" for an acceptable reading. The stuck-run
+// tracker advances on every observed reading, accepted or not.
+func (e *Estimator) rejectReason(p float64) string {
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return "non-finite reading"
+	}
+	if e.cfg.StuckThreshold > 0 {
+		if e.stuckRun > 0 && p == e.lastRaw {
+			e.stuckRun++
+		} else {
+			e.stuckRun = 1
+			e.lastRaw = p
+		}
+		if e.stuckRun >= e.cfg.StuckThreshold {
+			return fmt.Sprintf("stuck-at reading (%d identical)", e.stuckRun)
+		}
+	}
+	if e.cfg.PlausibilityMargin >= 0 && e.peakPower > 0 {
+		lo := e.idlePower / 2
+		hi := e.peakPower * (1 + e.cfg.PlausibilityMargin)
+		if p < lo || p > hi {
+			return fmt.Sprintf("out-of-band reading (%.6g W outside [%.6g, %.6g])", p, lo, hi)
+		}
+	}
+	return ""
+}
+
+// sampleMeterResilient acquires the tick's meter sample with the full
+// online fault-handling discipline: bounded retry on dropouts, rejection
+// of implausible readings (treated as implied dropouts), and last-good
+// holdover within the staleness bound. tick is the snapshot's clock, used
+// to age the held-over sample.
+func (e *Estimator) sampleMeterResilient(tick int) (meterRead, error) {
+	rd := meterRead{}
+	var lastErr error
+	for i := 0; i < e.cfg.MeterRetries; i++ {
+		s, err := e.m.Sample()
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, meter.ErrDropout) {
+				continue
+			}
+			// Transport-level failure (e.g. a corrupt serial stream):
+			// further in-tick reads of a broken link won't help.
+			break
+		}
+		if reason := e.rejectReason(s.Power); reason != "" {
+			rd.rejected++
+			lastErr = errors.New(reason)
+			continue
+		}
+		e.lastGood = s
+		e.lastGoodTick = tick
+		e.haveGood = true
+		rd.sample = s
+		return rd, nil
+	}
+	if lastErr == nil {
+		lastErr = meter.ErrDropout
+	}
+	if e.cfg.HoldoverTicks > 0 && e.haveGood {
+		if age := tick - e.lastGoodTick; age <= e.cfg.HoldoverTicks {
+			rd.sample = e.lastGood
+			rd.degraded = true
+			rd.age = age
+			rd.reason = fmt.Sprintf("holdover: %v (sample %d ticks old)", lastErr, age)
+			return rd, nil
+		}
+		return meterRead{}, fmt.Errorf("%w: no good sample for %d ticks (bound %d): %v",
+			ErrMeterLost, tick-e.lastGoodTick, e.cfg.HoldoverTicks, lastErr)
+	}
+	return meterRead{}, fmt.Errorf("%w: %v", ErrMeterLost, lastErr)
 }
 
 // CollectOffline runs the offline data-collecting phase: it measures the
@@ -242,6 +450,7 @@ func (e *Estimator) CollectOffline() error {
 
 	// Establish the idle power (Remark 1: stable when no VM runs).
 	e.host.SetCoalition(vm.EmptyCoalition)
+	e.peakPower = 0
 	var idleSum float64
 	for i := 0; i < e.cfg.IdleMeasureTicks; i++ {
 		e.host.Advance(1)
@@ -250,6 +459,7 @@ func (e *Estimator) CollectOffline() error {
 			return fmt.Errorf("core: measuring idle power: %w", err)
 		}
 		idleSum += s.Power
+		e.peakPower = math.Max(e.peakPower, s.Power)
 	}
 	e.idlePower = idleSum / float64(e.cfg.IdleMeasureTicks)
 
@@ -283,6 +493,7 @@ func (e *Estimator) CollectOffline() error {
 			if err != nil {
 				return fmt.Errorf("core: collecting combo %s: %w", combo, err)
 			}
+			e.peakPower = math.Max(e.peakPower, s.Power)
 			dyn := s.Power - e.idlePower
 			if dyn < 0 {
 				dyn = 0
@@ -325,9 +536,11 @@ func (e *Estimator) coalitionForCombo(set *vm.Set, combo vhc.ComboMask) (vm.Coal
 var ErrUntrained = errors.New("core: estimator not trained (run CollectOffline first)")
 
 // savedModel wraps the approximator model with the estimator-level state
-// a reload needs.
+// a reload needs. PeakPower anchors the online plausibility band; models
+// saved before it existed load with the band disabled.
 type savedModel struct {
 	IdlePower float64         `json:"idle_power"`
+	PeakPower float64         `json:"peak_power,omitempty"`
 	Model     json.RawMessage `json:"model"`
 }
 
@@ -345,7 +558,7 @@ func (e *Estimator) SaveModel(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(savedModel{IdlePower: e.idlePower, Model: buf.Bytes()}); err != nil {
+	if err := enc.Encode(savedModel{IdlePower: e.idlePower, PeakPower: e.peakPower, Model: buf.Bytes()}); err != nil {
 		return fmt.Errorf("core: save model: %w", err)
 	}
 	return nil
@@ -358,13 +571,17 @@ func (e *Estimator) LoadModel(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&saved); err != nil {
 		return fmt.Errorf("core: load model: %w", err)
 	}
-	if saved.IdlePower < 0 {
-		return fmt.Errorf("core: load model: negative idle power %g", saved.IdlePower)
+	if saved.IdlePower < 0 || math.IsNaN(saved.IdlePower) || math.IsInf(saved.IdlePower, 0) {
+		return fmt.Errorf("core: load model: invalid idle power %g", saved.IdlePower)
+	}
+	if saved.PeakPower < 0 || math.IsNaN(saved.PeakPower) || math.IsInf(saved.PeakPower, 0) {
+		return fmt.Errorf("core: load model: invalid peak power %g", saved.PeakPower)
 	}
 	if err := e.approx.Import(bytes.NewReader(saved.Model)); err != nil {
 		return err
 	}
 	e.idlePower = saved.IdlePower
+	e.peakPower = saved.PeakPower
 	e.trained = true
 	return nil
 }
@@ -378,15 +595,97 @@ func (e *Estimator) EstimateTick() (*Allocation, error) {
 // EstimateTickSpan is EstimateTick with pipeline tracing: the span (nil
 // is fine) gets stage marks "snapshot", "meter", "worth", "solve" and
 // "normalize" as the tick moves through the paper's online pipeline.
+//
+// This is the resilient online path: meter dropouts are retried, readings
+// outside the calibrated plausibility band are rejected as implied
+// dropouts, and a tick whose reads all fail serves the last good sample
+// (flagged Degraded) until the holdover bound lapses, at which point
+// ErrMeterLost is returned. It mutates the estimator's fault-handling
+// state and must be driven from a single goroutine — the same contract
+// Run and powerd.Step already follow; Estimate stays pure.
 func (e *Estimator) EstimateTickSpan(sp *obs.Span) (*Allocation, error) {
 	snap := e.host.Collect()
 	sp.Mark("snapshot")
-	s, err := e.sampleMeter()
+	rd, err := e.sampleMeterResilient(snap.Tick)
 	if err != nil {
 		return nil, err
 	}
 	sp.Mark("meter")
-	return e.estimateSpan(snap, s.Power, sp)
+	alloc, err := e.estimateSpan(snap, rd.sample.Power, sp)
+	if err != nil {
+		alloc, err = e.fallbackAllocation(snap, rd.sample.Power, err)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Remember the proportions for FallbackHold.
+		e.lastShares = alloc.PerVM
+	}
+	if rd.degraded {
+		alloc.Degraded = true
+		alloc.DegradedReason = rd.reason
+		alloc.HoldoverAgeTicks = rd.age
+	}
+	alloc.RejectedSamples = rd.rejected
+	return alloc, nil
+}
+
+// fallbackAllocation serves the degraded-mode split after a solver or
+// worth-evaluation failure, per the configured FallbackPolicy: the
+// previous allocation's proportions (FallbackHold) or a usage-
+// proportional CPU split (FallbackProportional), both rescaled to the
+// current dynamic power so Efficiency still holds against the meter.
+func (e *Estimator) fallbackAllocation(snap hypervisor.Snapshot, measuredTotal float64, cause error) (*Allocation, error) {
+	if e.cfg.Fallback == FallbackNone {
+		return nil, cause
+	}
+	n := e.host.Set().Len()
+	dyn := measuredTotal - e.idlePower
+	if dyn < 0 {
+		dyn = 0
+	}
+	alloc := &Allocation{
+		Tick:           snap.Tick,
+		Coalition:      snap.Coalition,
+		MeasuredPower:  measuredTotal,
+		DynamicPower:   dyn,
+		PerVM:          make([]float64, n),
+		Method:         "fallback",
+		Degraded:       true,
+		DegradedReason: fmt.Sprintf("fallback(%s): %v", e.cfg.Fallback, cause),
+	}
+	members := snap.Coalition.Members()
+	if len(members) == 0 {
+		return e.attributeIdle(alloc), nil
+	}
+	weights := make([]float64, n)
+	var total float64
+	if e.cfg.Fallback == FallbackHold && e.lastShares != nil {
+		for _, id := range members {
+			w := math.Max(e.lastShares[int(id)], 0)
+			weights[int(id)] = w
+			total += w
+		}
+	}
+	if total <= 0 {
+		// Usage-proportional split (also FallbackHold's bootstrap).
+		for _, id := range members {
+			w := snap.States[int(id)][vm.CPU]
+			weights[int(id)] = w
+			total += w
+		}
+	}
+	if total <= 0 {
+		// Nothing reports usage: split equally across running VMs.
+		for _, id := range members {
+			weights[int(id)] = 1
+		}
+		total = float64(len(members))
+	}
+	for _, id := range members {
+		alloc.PerVM[int(id)] = dyn * weights[int(id)] / total
+	}
+	return e.attributeIdle(alloc), nil
 }
 
 // Estimate disaggregates a measured total power across the snapshot's

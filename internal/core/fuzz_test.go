@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vmpower/internal/hypervisor"
+	"vmpower/internal/machine"
+	"vmpower/internal/meter"
+	"vmpower/internal/vm"
+)
+
+// fuzzRig builds the host/meter pair shared across fuzz iterations, and a
+// factory for fresh untrained estimators over it. Each iteration gets its
+// own estimator so a partially-applied corrupt model can never leak into
+// the next case; the host is read-only for LoadModel, so sharing it is
+// safe and keeps the per-exec cost down.
+func fuzzRig(t testing.TB) func(testing.TB) *Estimator {
+	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := vm.NewSet(vm.PaperCatalog(), []vm.VM{
+		{Name: "vm1", Type: 0}, {Name: "vm2", Type: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := hypervisor.NewHost(mach, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := meter.Perfect(host.PowerSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(t testing.TB) *Estimator {
+		// A tiny calibration budget: the fuzz target exercises model
+		// parsing, not calibration statistics, and this setup also runs in
+		// every fuzz worker process.
+		est, err := New(host, m, Config{Seed: 1, OfflineTicksPerCombo: 8, IdleMeasureTicks: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+}
+
+// FuzzLoadModel feeds LoadModel arbitrary bytes — seeded with a genuine
+// SaveModel payload and targeted corruptions of it — and requires the
+// invariant a daemon restart depends on: corrupt input errors cleanly,
+// never panics, and never leaves the estimator claiming to be trained.
+func FuzzLoadModel(f *testing.F) {
+	newEst := fuzzRig(f)
+
+	// A genuine model as the seed corpus root, so the fuzzer mutates from
+	// valid structure instead of flailing at the JSON parser.
+	{
+		est := newEst(f)
+		if err := est.CollectOffline(); err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := est.SaveModel(&buf); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		for _, cut := range []int{1, len(valid) / 2, len(valid) - 2} {
+			if cut > 0 && cut < len(valid) {
+				f.Add(valid[:cut])
+			}
+		}
+		f.Add(bytes.Replace(valid, []byte("idle_power"), []byte("idle_powerX"), 1))
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"idle_power": -5, "model": {}}`))
+	f.Add([]byte(`{"idle_power": 1e999}`))
+	f.Add([]byte(`{"idle_power": 100, "peak_power": -1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		est := newEst(t)
+		if err := est.LoadModel(bytes.NewReader(data)); err != nil {
+			if est.Trained() {
+				t.Fatalf("LoadModel failed (%v) but left the estimator trained", err)
+			}
+			return
+		}
+		// Accepted input must leave a coherent model behind: a round-trip
+		// re-save must succeed.
+		var buf strings.Builder
+		if err := est.SaveModel(&buf); err != nil {
+			t.Fatalf("accepted model cannot be re-saved: %v", err)
+		}
+	})
+}

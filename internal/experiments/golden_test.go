@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment outputs")
+
+// goldenExperiments are the seeded runs pinned byte-for-byte: the paper's
+// headline error figures (Fig. 3/4) and the fitted model coefficients
+// (Table IV). Any drift in the simulation, calibration or solver shows up
+// here as a diff against results/golden/<id>.json; run
+// `go test ./internal/experiments/ -run TestGolden -update` after an
+// intentional change.
+var goldenExperiments = []string{"fig3", "fig4", "table4"}
+
+const goldenConfigNote = "seed=1 quick=true"
+
+func goldenPath(t *testing.T, id string) string {
+	t.Helper()
+	// The golden files live in the repo, not the test's temp dir.
+	return filepath.Join("..", "..", "results", "golden", id+".json")
+}
+
+// goldenFile is the on-disk schema: the config the values were produced
+// under plus the experiment's metric map.
+type goldenFile struct {
+	Config string             `json:"config"`
+	Values map[string]float64 `json:"values"`
+}
+
+func TestGoldenExperimentOutputs(t *testing.T) {
+	for _, id := range goldenExperiments {
+		t.Run(id, func(t *testing.T) {
+			d, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := d.Run(Config{Seed: 1, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Values) == 0 {
+				t.Fatalf("%s produced no values to pin", id)
+			}
+			for name, v := range res.Values {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: value %q is %g", id, name, v)
+				}
+			}
+
+			path := goldenPath(t, id)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				blob, err := marshalGolden(goldenFile{Config: goldenConfigNote, Values: res.Values})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			var want goldenFile
+			if err := json.Unmarshal(blob, &want); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			if want.Config != goldenConfigNote {
+				t.Fatalf("golden file pinned under %q, test runs %q", want.Config, goldenConfigNote)
+			}
+			for name, w := range want.Values {
+				g, ok := res.Values[name]
+				if !ok {
+					t.Errorf("%s: metric %q disappeared", id, name)
+					continue
+				}
+				// Relative-absolute hybrid tolerance: the runs are fully
+				// seeded, so agreement should be exact up to float
+				// formatting; 1e-9 relative absorbs JSON round-tripping.
+				if diff := math.Abs(g - w); diff > 1e-9*math.Max(1, math.Max(math.Abs(g), math.Abs(w))) {
+					t.Errorf("%s: metric %q drifted: golden %v, got %v", id, name, w, g)
+				}
+			}
+			for name := range res.Values {
+				if _, ok := want.Values[name]; !ok {
+					t.Errorf("%s: new metric %q not pinned (run with -update)", id, name)
+				}
+			}
+		})
+	}
+}
+
+// marshalGolden renders the golden file with sorted keys and stable
+// indentation so diffs are reviewable.
+func marshalGolden(g goldenFile) ([]byte, error) {
+	keys := make([]string, 0, len(g.Values))
+	for k := range g.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := []byte("{\n  \"config\": " + fmt.Sprintf("%q", g.Config) + ",\n  \"values\": {\n")
+	for i, k := range keys {
+		v, err := json.Marshal(g.Values[k])
+		if err != nil {
+			return nil, err
+		}
+		comma := ","
+		if i == len(keys)-1 {
+			comma = ""
+		}
+		buf = append(buf, []byte(fmt.Sprintf("    %q: %s%s\n", k, v, comma))...)
+	}
+	buf = append(buf, []byte("  }\n}\n")...)
+	return buf, nil
+}

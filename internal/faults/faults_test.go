@@ -1,0 +1,218 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"vmpower/internal/meter"
+	"vmpower/internal/meter/serial"
+)
+
+func constMeter(t *testing.T, w float64) meter.Meter {
+	t.Helper()
+	m, err := meter.Perfect(func() (float64, error) { return w, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWrapValidation(t *testing.T) {
+	inner := constMeter(t, 100)
+	if _, err := Wrap(nil, Options{}); err == nil {
+		t.Fatal("want nil-meter error")
+	}
+	for _, bad := range []Options{
+		{DropoutProb: -0.1},
+		{DropoutProb: 1},
+		{SpikeProb: 2},
+		{NaNProb: -1},
+		{SpikeFactor: -3},
+		{Episodes: []Episode{{Start: -1, Len: 5}}},
+		{Episodes: []Episode{{Start: 0, Len: 0}}},
+	} {
+		if _, err := Wrap(inner, bad); err == nil {
+			t.Fatalf("options %+v must fail", bad)
+		}
+	}
+}
+
+func TestDisarmedIsTransparent(t *testing.T) {
+	fm, err := Wrap(constMeter(t, 151.5), Options{DropoutProb: 0.9, NaNProb: 0.09})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s, err := fm.Sample()
+		if err != nil || s.Power != 151.5 {
+			t.Fatalf("disarmed sample %d: %v %v", i, s, err)
+		}
+	}
+	if c := fm.Injected(); c != (Counts{}) {
+		t.Fatalf("disarmed wrapper injected %+v", c)
+	}
+}
+
+func TestSeededDropoutsAreDeterministic(t *testing.T) {
+	run := func() []bool {
+		fm, err := Wrap(constMeter(t, 100), Options{Seed: 42, DropoutProb: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm.SetArmed(true)
+		var drops []bool
+		for i := 0; i < 200; i++ {
+			_, err := fm.Sample()
+			if err != nil && !errors.Is(err, meter.ErrDropout) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			drops = append(drops, err != nil)
+		}
+		return drops
+	}
+	a, b := run(), run()
+	var n int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at sample %d", i)
+		}
+		if a[i] {
+			n++
+		}
+	}
+	if n < 30 || n > 90 {
+		t.Fatalf("dropout count %d implausible for p=0.3 over 200", n)
+	}
+}
+
+func TestEpisodes(t *testing.T) {
+	boom := errors.New("boom")
+	fm, err := Wrap(constMeter(t, 100), Options{
+		Episodes: []Episode{
+			{Start: 1, Len: 1, Kind: Dropout},
+			{Start: 2, Len: 2, Kind: StuckAt},
+			{Start: 4, Len: 1, Kind: Spike, Factor: 5},
+			{Start: 5, Len: 1, Kind: NaN},
+			{Start: 6, Len: 1, Kind: Error, Err: boom},
+			{Start: 7, Len: 1, Kind: Error},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.SetArmed(true)
+
+	// Tick 0: clean; seeds the stuck-at value.
+	if s, err := fm.Sample(); err != nil || s.Power != 100 {
+		t.Fatalf("tick 0: %v %v", s, err)
+	}
+	fm.NextTick()
+	if _, err := fm.Sample(); !errors.Is(err, meter.ErrDropout) {
+		t.Fatalf("tick 1 want dropout, got %v", err)
+	}
+	fm.NextTick()
+	for tick := 2; tick < 4; tick++ {
+		if s, err := fm.Sample(); err != nil || s.Power != 100 {
+			t.Fatalf("tick %d stuck-at: %v %v", tick, s, err)
+		}
+		fm.NextTick()
+	}
+	if s, err := fm.Sample(); err != nil || s.Power != 500 {
+		t.Fatalf("tick 4 spike: %v %v", s, err)
+	}
+	fm.NextTick()
+	if s, err := fm.Sample(); err != nil || !math.IsNaN(s.Power) {
+		t.Fatalf("tick 5 want NaN, got %v %v", s, err)
+	}
+	fm.NextTick()
+	if _, err := fm.Sample(); !errors.Is(err, boom) {
+		t.Fatalf("tick 6 want boom, got %v", err)
+	}
+	fm.NextTick()
+	if _, err := fm.Sample(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tick 7 want ErrInjected, got %v", err)
+	}
+
+	c := fm.Injected()
+	if c.Dropouts != 1 || c.Stuck != 2 || c.Spikes != 1 || c.NaNs != 1 || c.Errors != 2 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestStuckAtBeforeAnyReadingFallsThrough(t *testing.T) {
+	fm, err := Wrap(constMeter(t, 77), Options{
+		Episodes: []Episode{{Start: 0, Len: 1, Kind: StuckAt}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.SetArmed(true)
+	if s, err := fm.Sample(); err != nil || s.Power != 77 {
+		t.Fatalf("want live fallthrough, got %v %v", s, err)
+	}
+}
+
+func TestCorruptReaderBurstBreaksFrames(t *testing.T) {
+	// Encode 20 valid frames, scramble a burst covering frames 5..9, and
+	// check the serial reader resynchronises: every delivered sample must
+	// be one of the encoded ones, and both sides of the burst arrive.
+	var stream bytes.Buffer
+	w := serial.NewWriter(&stream)
+	for i := 0; i < 20; i++ {
+		if err := w.Write(meter.Sample{Seq: uint64(i), Power: 100 + float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cr, err := NewCorruptReader(&stream, CorruptOptions{
+		Seed:   7,
+		Bursts: []ByteBurst{{Start: 5 * 16, Len: 5 * 16}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := serial.NewReader(cr)
+	var got []uint64
+	for {
+		s, err := r.Read()
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			break
+		}
+		if err != nil {
+			continue // bad frame: the reader resyncs on the next call
+		}
+		if s.Power != 100+float64(s.Seq) {
+			t.Fatalf("corrupted frame accepted: %+v", s)
+		}
+		got = append(got, s.Seq)
+	}
+	if len(got) < 10 {
+		t.Fatalf("only %d of 20 frames survived a 5-frame burst: %v", len(got), got)
+	}
+	var before, after bool
+	for _, seq := range got {
+		if seq < 5 {
+			before = true
+		}
+		if seq >= 10 {
+			after = true
+		}
+	}
+	if !before || !after {
+		t.Fatalf("did not recover on both sides of the burst: %v", got)
+	}
+}
+
+func TestCorruptReaderValidation(t *testing.T) {
+	if _, err := NewCorruptReader(nil, CorruptOptions{}); err == nil {
+		t.Fatal("want nil-reader error")
+	}
+	if _, err := NewCorruptReader(bytes.NewReader(nil), CorruptOptions{FlipProb: 1}); err == nil {
+		t.Fatal("want flip-prob error")
+	}
+	if _, err := NewCorruptReader(bytes.NewReader(nil), CorruptOptions{Bursts: []ByteBurst{{Start: -1, Len: 1}}}); err == nil {
+		t.Fatal("want burst error")
+	}
+}

@@ -22,6 +22,9 @@ type Metrics struct {
 	// CorruptStreams counts Next giving up after
 	// MaxConsecutiveBadFrames (vmpower_serial_corrupt_streams_total).
 	CorruptStreams *obs.Counter
+	// Reconnects counts successful client redials
+	// (vmpower_serial_reconnects_total).
+	Reconnects *obs.Counter
 }
 
 var pkgMetrics atomic.Pointer[Metrics]
@@ -43,6 +46,8 @@ func Instrument(reg *obs.Registry) {
 			"stream reads that resynchronised on the magic bytes"),
 		CorruptStreams: reg.Counter("vmpower_serial_corrupt_streams_total",
 			"streams abandoned after too many consecutive bad frames"),
+		Reconnects: reg.Counter("vmpower_serial_reconnects_total",
+			"successful client reconnects after stream failures"),
 	})
 }
 
@@ -74,4 +79,11 @@ func (m *Metrics) noteCorruptStream() {
 		return
 	}
 	m.CorruptStreams.Inc()
+}
+
+func (m *Metrics) noteReconnect() {
+	if m == nil {
+		return
+	}
+	m.Reconnects.Inc()
 }

@@ -1,0 +1,243 @@
+package serial
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vmpower/internal/meter"
+	"vmpower/internal/obs"
+)
+
+// TestBadFrameCounterIsConsecutiveNotCumulative is the regression pin for
+// the corrupt-stream cap: the counter must reset after every valid frame,
+// so a stream with many glitches — but never MaxConsecutiveBadFrames in a
+// row — keeps delivering samples forever, while a genuinely dead line
+// still trips the cap.
+func TestBadFrameCounterIsConsecutiveNotCumulative(t *testing.T) {
+	var buf bytes.Buffer
+	bad := newCorruptFrames(t).frame
+	const rounds = 10
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < MaxConsecutiveBadFrames-1; i++ {
+			buf.Write(bad)
+		}
+		good, err := Encode(meter.Sample{Seq: uint64(round), Power: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(good)
+	}
+	// Tail: a full run of consecutive corruption that must still trip.
+	for i := 0; i < MaxConsecutiveBadFrames; i++ {
+		buf.Write(bad)
+	}
+
+	c := &Client{r: NewReader(&buf)}
+	for round := 0; round < rounds; round++ {
+		s, err := c.Next()
+		if err != nil {
+			t.Fatalf("round %d: %v (cumulative %d bad frames seen — counter not resetting?)",
+				round, err, round*(MaxConsecutiveBadFrames-1))
+		}
+		if s.Seq != uint64(round) || s.Power != 42 {
+			t.Fatalf("round %d: got %+v", round, s)
+		}
+	}
+	if _, err := c.Next(); !errors.Is(err, ErrCorruptStream) {
+		t.Fatalf("consecutive run did not trip the cap: %v", err)
+	}
+}
+
+// flakyServer accepts connections and serves scripted content: the first
+// badConns connections stream corrupt frames, later ones stream valid
+// samples.
+type flakyServer struct {
+	ln       net.Listener
+	badConns int32
+	conns    int32
+	badFrame []byte
+}
+
+func newFlakyServer(t *testing.T, badConns int) *flakyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &flakyServer{ln: ln, badConns: int32(badConns), badFrame: newCorruptFrames(t).frame}
+	go fs.loop()
+	t.Cleanup(func() { ln.Close() })
+	return fs
+}
+
+func (fs *flakyServer) loop() {
+	for {
+		conn, err := fs.ln.Accept()
+		if err != nil {
+			return
+		}
+		n := atomic.AddInt32(&fs.conns, 1)
+		go func(conn net.Conn, n int32) {
+			defer conn.Close()
+			if n <= fs.badConns {
+				for i := 0; i < MaxConsecutiveBadFrames; i++ {
+					if _, err := conn.Write(fs.badFrame); err != nil {
+						return
+					}
+				}
+				// Linger so the client sees the cap, not an EOF.
+				time.Sleep(200 * time.Millisecond)
+				return
+			}
+			w := NewWriter(conn)
+			for i := 0; i < 1000; i++ {
+				if err := w.Write(meter.Sample{Seq: uint64(i + 1), Power: 99}); err != nil {
+					return
+				}
+			}
+		}(conn, n)
+	}
+}
+
+func TestReconnectAfterCorruptStream(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	fs := newFlakyServer(t, 1)
+	c, err := DialReconnect(fs.ln.Addr().String(), ReconnectOptions{
+		Seed: 3, MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first connection is pure corruption: Next must trip the cap,
+	// redial, and come back with a valid sample from the second.
+	s, err := c.Next()
+	if err != nil {
+		t.Fatalf("Next did not recover across reconnect: %v", err)
+	}
+	if s.Power != 99 {
+		t.Fatalf("Power = %g", s.Power)
+	}
+	if got := atomic.LoadInt32(&fs.conns); got != 2 {
+		t.Fatalf("server saw %d connections, want 2", got)
+	}
+	if v := reg.Counter("vmpower_serial_reconnects_total", "").Value(); v != 1 {
+		t.Fatalf("reconnects counter = %d, want 1", v)
+	}
+	if v := reg.Counter("vmpower_serial_corrupt_streams_total", "").Value(); v != 1 {
+		t.Fatalf("corrupt-streams counter = %d, want 1", v)
+	}
+}
+
+func TestReconnectAfterConnectionDrop(t *testing.T) {
+	srv, err := NewServer(testMeter(t, 151.5), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := DialReconnect(addr, ReconnectOptions{
+		Seed: 5, MaxAttempts: 20, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server and restart one on the same address; the client must
+	// ride the outage via redial-with-backoff.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(testMeter(t, 42), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv2.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s, err := c.Next()
+		if err == nil && s.Power == 42 {
+			return // reconnected to the new server
+		}
+		if err == nil {
+			continue // stale buffered frame from the old server
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never recovered: %v", err)
+		}
+	}
+}
+
+func TestReconnectGivesUpWhenServerGone(t *testing.T) {
+	fs := newFlakyServer(t, 1)
+	c, err := DialReconnect(fs.ln.Addr().String(), ReconnectOptions{
+		Seed: 7, MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the listener down: the corrupt first stream forces a redial,
+	// which must fail after its bounded attempts and surface the typed
+	// error.
+	fs.ln.Close()
+	if _, err := c.Next(); !errors.Is(err, ErrCorruptStream) {
+		t.Fatalf("want ErrCorruptStream after failed reconnect, got %v", err)
+	}
+}
+
+func TestLatestTimeoutStillNotReconnect(t *testing.T) {
+	// Drain timeouts are control flow for Latest, not failures: with
+	// reconnect enabled, a quiet line must return the freshest sample, not
+	// trigger a redial.
+	srv, err := NewServer(testMeter(t, 77), 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialReconnect(addr, ReconnectOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.Latest(5*time.Second, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Power != 77 {
+		t.Fatalf("Power = %g", s.Power)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -120,6 +121,11 @@ func (s *Server) serve(ctx context.Context, conn net.Conn) {
 type Client struct {
 	conn net.Conn
 	r    *Reader
+
+	addr     string
+	rec      *ReconnectOptions
+	rng      *rand.Rand
+	deadline time.Time
 }
 
 // Dial connects to a Server at addr.
@@ -128,7 +134,88 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serial: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: NewReader(conn)}, nil
+	return &Client{conn: conn, r: NewReader(conn), addr: addr}, nil
+}
+
+// ReconnectOptions configures a client's self-healing behaviour: on a
+// corrupt stream or a transport-level read error, the client closes the
+// connection and redials with exponential backoff and jitter instead of
+// surfacing the error.
+type ReconnectOptions struct {
+	// MaxAttempts bounds the dial attempts per reconnect cycle.
+	// 0 defaults to 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (the first is
+	// immediate); it doubles per attempt. 0 defaults to 50 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 defaults to 2 s.
+	MaxDelay time.Duration
+	// Seed drives the jitter PRNG, so tests replay deterministically.
+	Seed int64
+}
+
+func (o ReconnectOptions) withDefaults() ReconnectOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 50 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Second
+	}
+	return o
+}
+
+// DialReconnect connects to a Server at addr with reconnect enabled: a
+// corrupt stream or broken connection triggers a close-and-redial cycle
+// (exponential backoff, jittered) instead of a terminal error, which is
+// what a long-running daemon wants from a flaky meter link.
+func DialReconnect(addr string, opts ReconnectOptions) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	c.rec = &o
+	c.rng = rand.New(rand.NewSource(opts.Seed))
+	return c, nil
+}
+
+// reconnect closes the current connection and redials with exponential
+// backoff and jitter, reapplying any stored read deadline.
+func (c *Client) reconnect() error {
+	c.conn.Close()
+	var lastErr error
+	for attempt := 0; attempt < c.rec.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := c.rec.BaseDelay << uint(attempt-1)
+			if delay <= 0 || delay > c.rec.MaxDelay {
+				delay = c.rec.MaxDelay
+			}
+			// Jitter in [0.5, 1.0)x spreads the redial storm when many
+			// clients lose the same server at once.
+			delay = time.Duration(float64(delay) * (0.5 + 0.5*c.rng.Float64()))
+			time.Sleep(delay)
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !c.deadline.IsZero() {
+			if err := conn.SetReadDeadline(c.deadline); err != nil {
+				conn.Close()
+				lastErr = err
+				continue
+			}
+		}
+		c.conn = conn
+		c.r = NewReader(conn)
+		metrics().noteReconnect()
+		return nil
+	}
+	return fmt.Errorf("serial: reconnect %s after %d attempts: %w", c.addr, c.rec.MaxAttempts, lastErr)
 }
 
 // ErrCorruptStream is returned by Next after MaxConsecutiveBadFrames
@@ -146,9 +233,17 @@ const MaxConsecutiveBadFrames = 64
 // Next returns the next valid sample, skipping corrupt frames. A bounded
 // number of consecutive corrupt frames is tolerated (the CRC exists
 // exactly to ride out line glitches); past MaxConsecutiveBadFrames it
-// returns ErrCorruptStream instead of spinning on a garbage stream.
+// returns ErrCorruptStream instead of spinning on a garbage stream. The
+// bad-frame count is per call: a single valid frame returns immediately,
+// so only genuinely consecutive corruption trips the cap.
+//
+// With reconnect enabled (DialReconnect), a corrupt stream or a
+// non-timeout transport error triggers one redial cycle before the error
+// is surfaced; timeouts still pass through so Latest's drain semantics
+// keep working.
 func (c *Client) Next() (meter.Sample, error) {
 	bad := 0
+	reconnected := false
 	for {
 		s, err := c.r.Read()
 		if err == nil {
@@ -158,16 +253,35 @@ func (c *Client) Next() (meter.Sample, error) {
 			bad++
 			if bad >= MaxConsecutiveBadFrames {
 				metrics().noteCorruptStream()
+				if c.rec != nil && !reconnected {
+					if rerr := c.reconnect(); rerr != nil {
+						return meter.Sample{}, fmt.Errorf("%w: %d frames (reconnect failed: %v)", ErrCorruptStream, bad, rerr)
+					}
+					reconnected = true
+					bad = 0
+					continue
+				}
 				return meter.Sample{}, fmt.Errorf("%w: %d frames", ErrCorruptStream, bad)
 			}
 			continue
+		}
+		if c.rec != nil && !reconnected && !isTimeout(err) {
+			if rerr := c.reconnect(); rerr == nil {
+				reconnected = true
+				bad = 0
+				continue
+			}
 		}
 		return meter.Sample{}, err
 	}
 }
 
-// SetDeadline bounds how long Next may block.
-func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+// SetDeadline bounds how long Next may block. The deadline is remembered
+// and reapplied to any reconnected socket.
+func (c *Client) SetDeadline(t time.Time) error {
+	c.deadline = t
+	return c.conn.SetReadDeadline(t)
+}
 
 // Latest returns the freshest sample on the wire: it waits up to wait for
 // a first frame, then keeps draining frames that arrive within drain of

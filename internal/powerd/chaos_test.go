@@ -1,0 +1,254 @@
+package powerd
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vmpower/internal/core"
+	"vmpower/internal/faults"
+	"vmpower/internal/hypervisor"
+	"vmpower/internal/machine"
+	"vmpower/internal/meter"
+	"vmpower/internal/meter/serial"
+	"vmpower/internal/obs"
+	"vmpower/internal/vm"
+	"vmpower/internal/workload"
+)
+
+// chaosRig builds a calibrated daemon whose meter is wrapped in a seeded
+// fault injector: heavy iid dropouts plus scripted corrupt-stream, dropout
+// and stuck-at episodes. The injector is armed only after calibration, the
+// way cmd/powerd wires it.
+func chaosRig(t *testing.T, opts faults.Options, cfg core.Config) (*Server, *faults.Meter, *obs.Registry) {
+	t.Helper()
+	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := vm.NewSet(vm.PaperCatalog(), []vm.VM{
+		{Name: "web", Type: 0}, {Name: "db", Type: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := hypervisor.NewHost(mach, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lightly noisy meter, not a Perfect one: real readings jitter, which
+	// is what makes a frozen (stuck-at) reading detectable at all.
+	inner, err := meter.NewSim(host.PowerSource(), meter.SimOptions{NoiseStdDev: 0.05, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := faults.Wrap(inner, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := core.New(host, fm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.CollectOffline(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < set.Len(); i++ {
+		if err := host.Attach(vm.ID(i), workload.FloatPoint()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host.SetCoalition(vm.GrandCoalition(set.Len()))
+
+	srv, err := New(est, []string{"web", "db"}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv.Instrument(reg, obs.NewLogger(io.Discard, obs.LevelError, obs.FormatKV), time.Minute)
+	fm.SetArmed(true)
+	return srv, fm, reg
+}
+
+// TestChaosScheduleSurvival is the PR's acceptance test: 300 ticks against
+// a seeded schedule of 35% iid dropouts, a corrupt-stream burst, a dropout
+// burst and one stuck-at episode, with concurrent /healthz and /metrics
+// readers. The estimator must never return a terminal error (every outage
+// stays within the holdover bound), every non-degraded tick must satisfy
+// Efficiency to 1e-9, every degraded tick must be flagged and counted, and
+// /healthz must report degraded-but-200 while the pipeline rides an
+// outage.
+func TestChaosScheduleSurvival(t *testing.T) {
+	const ticks = 300
+	srv, fm, reg := chaosRig(t,
+		faults.Options{
+			Seed:        1234,
+			DropoutProb: 0.35,
+			NaNProb:     0.02,
+			SpikeProb:   0.02,
+			Episodes: []faults.Episode{
+				// A corrupt serial stream: the transport error every read.
+				{Start: 80, Len: 6, Kind: faults.Error, Err: serial.ErrCorruptStream},
+				// A hard dropout burst longer than the retry budget.
+				{Start: 150, Len: 5, Kind: faults.Dropout},
+				// A meter whose display freezes for 12 ticks.
+				{Start: 200, Len: 12, Kind: faults.StuckAt},
+			},
+		},
+		core.Config{
+			OfflineTicksPerCombo: 80, IdleMeasureTicks: 5, Seed: 1,
+			MeterRetries: 2, HoldoverTicks: 10, StuckThreshold: 4,
+		})
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Concurrent scrapers: the race detector checks the Step/handler
+	// publication protocol while the chaos runs.
+	done := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, p := range []string{"/healthz", "/metrics", "/api/v1/status"} {
+				resp, err := http.Get(ts.URL + p)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	var degraded, rejected, maxAge int
+	sawDegraded200 := false
+	for tick := 0; tick < ticks; tick++ {
+		alloc, err := srv.Step()
+		if err != nil {
+			t.Fatalf("tick %d: terminal error inside the holdover bound: %v", tick, err)
+		}
+		if alloc.Degraded {
+			degraded++
+			if alloc.DegradedReason == "" {
+				t.Fatalf("tick %d: degraded without a reason", tick)
+			}
+			if alloc.HoldoverAgeTicks > maxAge {
+				maxAge = alloc.HoldoverAgeTicks
+			}
+			// Degraded-but-ticking must be visible on /healthz as a 200.
+			if !sawDegraded200 {
+				var h HealthJSON
+				if code := getJSON(t, ts, "/healthz", &h); code != http.StatusOK {
+					t.Fatalf("tick %d: degraded healthz = %d, want 200", tick, code)
+				} else if h.Status != "degraded" {
+					t.Fatalf("tick %d: healthz status %q, want degraded", tick, h.Status)
+				}
+				sawDegraded200 = true
+			}
+		} else {
+			// Every fresh tick satisfies Efficiency against its measured
+			// dynamic power.
+			var sum float64
+			for _, p := range alloc.PerVM {
+				sum += p
+			}
+			if math.Abs(sum-alloc.DynamicPower) > 1e-9 {
+				t.Fatalf("tick %d: efficiency violated: sum %g vs dyn %g", tick, sum, alloc.DynamicPower)
+			}
+		}
+		rejected += alloc.RejectedSamples
+		fm.NextTick()
+	}
+	close(done)
+	<-scraped
+
+	if degraded == 0 {
+		t.Fatal("chaos schedule produced no degraded ticks")
+	}
+	if degraded == ticks {
+		t.Fatal("every tick degraded: the pipeline never recovered")
+	}
+	if maxAge > 10 {
+		t.Fatalf("holdover age %d exceeded the staleness bound", maxAge)
+	}
+	if c := fm.Injected(); c.Dropouts == 0 || c.Stuck == 0 || c.Errors == 0 {
+		t.Fatalf("schedule did not exercise all fault kinds: %+v", c)
+	}
+
+	// The obs counters must agree with the ground truth we tallied.
+	if v := reg.Counter("vmpower_ticks_total", "").Value(); v != ticks {
+		t.Fatalf("ticks counter = %d, want %d", v, ticks)
+	}
+	if v := reg.Counter("vmpower_degraded_ticks_total", "").Value(); v != uint64(degraded) {
+		t.Fatalf("degraded counter = %d, want %d", v, degraded)
+	}
+	if v := reg.Counter("vmpower_rejected_samples_total", "").Value(); v != uint64(rejected) {
+		t.Fatalf("rejected counter = %d, want %d", v, rejected)
+	}
+
+	// And the same totals must be scrapeable over HTTP.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "vmpower_degraded_ticks_total") {
+		t.Fatal("degraded counter missing from /metrics")
+	}
+
+	var st StatusJSON
+	if code := getJSON(t, ts, "/api/v1/status", &st); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if st.DegradedTicks != degraded || st.RejectedSamples != rejected {
+		t.Fatalf("status totals %d/%d, want %d/%d",
+			st.DegradedTicks, st.RejectedSamples, degraded, rejected)
+	}
+}
+
+// TestHealthzMeterLost pins the far side of the staleness bound: when the
+// meter stays dead past HoldoverTicks, Step turns terminal with
+// core.ErrMeterLost and /healthz flips to a 503 "error".
+func TestHealthzMeterLost(t *testing.T) {
+	srv, fm, _ := chaosRig(t,
+		faults.Options{
+			Seed: 9,
+			// Dead from the first armed tick, forever.
+			Episodes: []faults.Episode{{Start: 0, Len: 1 << 20, Kind: faults.Dropout}},
+		},
+		core.Config{
+			OfflineTicksPerCombo: 80, IdleMeasureTicks: 5, Seed: 1,
+			MeterRetries: 2, HoldoverTicks: 3,
+		})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var lastErr error
+	for tick := 0; tick < 10 && lastErr == nil; tick++ {
+		_, lastErr = srv.Step()
+		fm.NextTick()
+	}
+	if lastErr == nil {
+		t.Fatal("meter dead forever but Step never turned terminal")
+	}
+	var h HealthJSON
+	if code := getJSON(t, ts, "/healthz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz = %d, want 503", code)
+	}
+	if h.Status != "error" || !strings.Contains(h.Error, "meter signal lost") {
+		t.Fatalf("healthz %+v", h)
+	}
+}

@@ -1,0 +1,45 @@
+package powerd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+// FuzzHistoryQuery throws arbitrary ?n= values at the history endpoint:
+// whatever the input, the daemon must answer 200 or 400 with a JSON body —
+// never a 5xx, a panic, or a non-JSON response.
+func FuzzHistoryQuery(f *testing.F) {
+	srv, _ := testServer(f)
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Step(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(ts.Close)
+
+	for _, seed := range []string{"", "1", "2", "0", "-1", "99999999999999999999", "1e3", "0x10", " 3", "3 ", "éé", "%", "\x00"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, n string) {
+		resp, err := http.Get(ts.URL + "/api/v1/history?n=" + url.QueryEscape(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("n=%q: status %d", n, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(body) {
+			t.Fatalf("n=%q: non-JSON body %q", n, body)
+		}
+	})
+}

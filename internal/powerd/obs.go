@@ -37,13 +37,17 @@ type serverObs struct {
 	tracer   *obs.Tracer
 	interval time.Duration
 
-	ticks      *obs.Counter
-	tickErrors *obs.Counter
-	lastTick   *obs.Gauge
-	calibrated *obs.Gauge
-	idleWatts  *obs.Gauge
-	measured   *obs.Gauge
-	vmWatts    map[string]*obs.Gauge
+	ticks       *obs.Counter
+	tickErrors  *obs.Counter
+	degraded    *obs.Counter
+	rejected    *obs.Counter
+	degradedNow *obs.Gauge
+	holdoverAge *obs.Gauge
+	lastTick    *obs.Gauge
+	calibrated  *obs.Gauge
+	idleWatts   *obs.Gauge
+	measured    *obs.Gauge
+	vmWatts     map[string]*obs.Gauge
 
 	http map[string]httpMetrics
 }
@@ -79,6 +83,14 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 			"estimation tick latency", tickStages...),
 		ticks:      reg.Counter("vmpower_ticks_total", "estimation ticks completed"),
 		tickErrors: reg.Counter("vmpower_tick_errors_total", "estimation ticks that failed"),
+		degraded: reg.Counter("vmpower_degraded_ticks_total",
+			"ticks served from holdover or fallback instead of a fresh plausible reading"),
+		rejected: reg.Counter("vmpower_rejected_samples_total",
+			"meter samples rejected by the plausibility gate"),
+		degradedNow: reg.Gauge("vmpower_degraded",
+			"1 while the most recent tick was degraded"),
+		holdoverAge: reg.Gauge("vmpower_holdover_age_ticks",
+			"age of the held-over meter sample at the last tick (0 when fresh)"),
 		lastTick:   reg.Gauge("vmpower_last_tick_timestamp_seconds", "unix time of the last successful tick"),
 		calibrated: reg.Gauge("vmpower_calibrated", "1 when the estimator is trained"),
 		idleWatts:  reg.Gauge("vmpower_idle_watts", "idle power established by calibration"),
@@ -126,8 +138,24 @@ func (o *serverObs) noteTick(now time.Time, trained bool, idle float64, alloc *c
 	}
 	o.idleWatts.Set(idle)
 	o.measured.Set(alloc.MeasuredPower)
+	if alloc.Degraded {
+		o.degraded.Inc()
+		o.degradedNow.Set(1)
+	} else {
+		o.degradedNow.Set(0)
+	}
+	o.holdoverAge.Set(float64(alloc.HoldoverAgeTicks))
+	if alloc.RejectedSamples > 0 {
+		o.rejected.Add(uint64(alloc.RejectedSamples))
+	}
 	for name, w := range wire.PerVM {
 		o.vmWatts[name].Set(w)
+	}
+	if alloc.Degraded && o.log.Enabled(obs.LevelWarn) {
+		o.log.Warn("degraded tick",
+			"tick", alloc.Tick,
+			"reason", alloc.DegradedReason,
+			"holdover_age_ticks", alloc.HoldoverAgeTicks)
 	}
 	if o.log.Enabled(obs.LevelDebug) {
 		o.log.Debug("tick",

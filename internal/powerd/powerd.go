@@ -26,6 +26,13 @@ type AllocationJSON struct {
 	DynamicWatts  float64            `json:"dynamic_watts"`
 	Method        string             `json:"method"`
 	PerVM         map[string]float64 `json:"per_vm_watts"`
+	// Degraded marks a tick served from holdover or fallback rather than a
+	// fresh plausible meter reading; DegradedReason and HoldoverAgeTicks
+	// carry the cause and staleness.
+	Degraded         bool   `json:"degraded,omitempty"`
+	DegradedReason   string `json:"degraded_reason,omitempty"`
+	HoldoverAgeTicks int    `json:"holdover_age_ticks,omitempty"`
+	RejectedSamples  int    `json:"rejected_samples,omitempty"`
 }
 
 // StatusJSON is the wire form of the daemon status.
@@ -34,6 +41,12 @@ type StatusJSON struct {
 	IdleWatts  float64  `json:"idle_watts"`
 	VMs        []string `json:"vms"`
 	Ticks      int      `json:"ticks_estimated"`
+	// Degraded reports whether the most recent tick was degraded;
+	// DegradedTicks and RejectedSamples are cumulative since start.
+	Degraded           bool   `json:"degraded"`
+	DegradedTicks      int    `json:"degraded_ticks"`
+	RejectedSamples    int    `json:"rejected_samples"`
+	LastDegradedReason string `json:"last_degraded_reason,omitempty"`
 }
 
 // EnergyJSON is the wire form of the cumulative energy counters.
@@ -54,16 +67,19 @@ type Server struct {
 	now       func() time.Time
 	createdAt time.Time
 
-	mu         sync.RWMutex
-	latest     *AllocationJSON
-	lastSnap   *hypervisor.Snapshot
-	lastPow    float64
-	history    []*AllocationJSON
-	histCap    int
-	energyWs   map[string]float64
-	ticks      int
-	lastTickAt time.Time
-	lastErr    string
+	mu            sync.RWMutex
+	latest        *AllocationJSON
+	lastSnap      *hypervisor.Snapshot
+	lastPow       float64
+	history       []*AllocationJSON
+	histCap       int
+	energyWs      map[string]float64
+	ticks         int
+	degradedTicks int
+	rejected      int
+	lastDegraded  string
+	lastTickAt    time.Time
+	lastErr       string
 }
 
 // InteractionsJSON is the wire form of the live interference matrix.
@@ -131,16 +147,25 @@ func (s *Server) Step() (*core.Allocation, error) {
 // snapshot it was computed from, and returns the wire form.
 func (s *Server) record(alloc *core.Allocation, snap *hypervisor.Snapshot) *AllocationJSON {
 	wire := &AllocationJSON{
-		Tick:          alloc.Tick,
-		MeasuredWatts: alloc.MeasuredPower,
-		DynamicWatts:  alloc.DynamicPower,
-		Method:        alloc.Method,
-		PerVM:         make(map[string]float64, len(s.names)),
+		Tick:             alloc.Tick,
+		MeasuredWatts:    alloc.MeasuredPower,
+		DynamicWatts:     alloc.DynamicPower,
+		Method:           alloc.Method,
+		PerVM:            make(map[string]float64, len(s.names)),
+		Degraded:         alloc.Degraded,
+		DegradedReason:   alloc.DegradedReason,
+		HoldoverAgeTicks: alloc.HoldoverAgeTicks,
+		RejectedSamples:  alloc.RejectedSamples,
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lastSnap = snap
 	s.lastPow = alloc.MeasuredPower
+	if alloc.Degraded {
+		s.degradedTicks++
+		s.lastDegraded = alloc.DegradedReason
+	}
+	s.rejected += alloc.RejectedSamples
 	for i, name := range s.names {
 		w := alloc.PerVM[i]
 		if alloc.IdlePerVM != nil {
@@ -189,7 +214,8 @@ func (s *Server) Handler() http.Handler {
 
 // HealthJSON is the wire form of /healthz.
 type HealthJSON struct {
-	// Status is "ok", "starting" (no tick yet, within the stall
+	// Status is "ok", "degraded" (ticks landing but served from holdover
+	// or fallback — still 200), "starting" (no tick yet, within the stall
 	// threshold), "stalled" (no tick for more than 3 intervals) or
 	// "error" (the last Step failed).
 	Status     string `json:"status"`
@@ -199,13 +225,20 @@ type HealthJSON struct {
 	// before the first one.
 	LastTickAgeSeconds float64 `json:"last_tick_age_seconds,omitempty"`
 	Error              string  `json:"error,omitempty"`
+	// DegradedReason explains a "degraded" status.
+	DegradedReason   string `json:"degraded_reason,omitempty"`
+	HoldoverAgeTicks int    `json:"holdover_age_ticks,omitempty"`
 }
 
 // handleHealthz reports loop liveness: 200 while ticks are landing on
 // schedule, 503 once the loop has gone quiet for more than three
 // intervals (the Instrument cadence, default 1 s) or the last Step
-// failed — which is also how a dead meter surfaces, since Step's meter
-// read errors out after bounded dropout retries.
+// failed — which is how a meter lost beyond the holdover bound surfaces,
+// since EstimateTick turns terminal at core.ErrMeterLost. A degraded but
+// ticking pipeline (holdover within the staleness bound, fallback split)
+// reports "degraded" with 200: the daemon is alive and serving bounded-
+// staleness answers, which is exactly what the degradation machinery is
+// for.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	interval := time.Second
 	if o := s.telemetry.Load(); o != nil {
@@ -217,6 +250,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	ticks := s.ticks
 	lastTickAt := s.lastTickAt
 	lastErr := s.lastErr
+	latest := s.latest
 	s.mu.RUnlock()
 	h := HealthJSON{Calibrated: s.est.Trained(), Ticks: ticks}
 	status := http.StatusOK
@@ -237,6 +271,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		if now.Sub(lastTickAt) > stallAfter {
 			h.Status = "stalled"
 			status = http.StatusServiceUnavailable
+		} else if latest != nil && latest.Degraded {
+			h.Status = "degraded"
+			h.DegradedReason = latest.DegradedReason
+			h.HoldoverAgeTicks = latest.HoldoverAgeTicks
 		}
 	}
 	writeJSON(w, status, h)
@@ -279,12 +317,20 @@ type errorJSON struct {
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	ticks := s.ticks
+	degradedTicks := s.degradedTicks
+	rejected := s.rejected
+	lastDegraded := s.lastDegraded
+	degraded := s.latest != nil && s.latest.Degraded
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, StatusJSON{
-		Calibrated: s.est.Trained(),
-		IdleWatts:  s.est.IdlePower(),
-		VMs:        append([]string(nil), s.names...),
-		Ticks:      ticks,
+		Calibrated:         s.est.Trained(),
+		IdleWatts:          s.est.IdlePower(),
+		VMs:                append([]string(nil), s.names...),
+		Ticks:              ticks,
+		Degraded:           degraded,
+		DegradedTicks:      degradedTicks,
+		RejectedSamples:    rejected,
+		LastDegradedReason: lastDegraded,
 	})
 }
 

@@ -16,7 +16,7 @@ import (
 	"vmpower/internal/workload"
 )
 
-func testServer(t *testing.T) (*Server, *hypervisor.Host) {
+func testServer(t testing.TB) (*Server, *hypervisor.Host) {
 	t.Helper()
 	mach, err := machine.New(machine.XeonProfile(), machine.Pack)
 	if err != nil {

@@ -33,6 +33,7 @@ import (
 
 	"vmpower/internal/capping"
 	"vmpower/internal/core"
+	"vmpower/internal/faults"
 	"vmpower/internal/hypervisor"
 	"vmpower/internal/machine"
 	"vmpower/internal/meter"
@@ -101,11 +102,15 @@ type Config struct {
 type System struct {
 	host      *hypervisor.Host
 	estimator *core.Estimator
+	m         meter.Meter
 	byName    map[string]vm.ID
 	names     []string
 	seed      int64
 	recorder  *replay.Writer
 	capper    *capping.Controller
+
+	injector      *faults.Meter
+	injectorArmed bool
 }
 
 // Allocation is one tick's per-VM power attribution.
@@ -196,7 +201,38 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{host: host, estimator: est, byName: byName, names: names, seed: cfg.Seed}, nil
+	return &System{host: host, estimator: est, m: m, byName: byName, names: names, seed: cfg.Seed}, nil
+}
+
+// InjectFaults wraps the system's wall meter in the deterministic seeded
+// fault injector (package faults): scripted dropout/stuck-at/spike/NaN
+// episodes plus independent per-sample faults. The injector stays disarmed
+// — transparent — until the first Step, so Calibrate always sees the clean
+// meter; from then on the online pipeline rides the chaos through its
+// retry, plausibility-gate and holdover machinery, flagging degraded
+// ticks on the resulting Allocations.
+func (s *System) InjectFaults(opts faults.Options) error {
+	if s.injector != nil {
+		return errors.New("vmpower: fault injection already active")
+	}
+	fm, err := faults.Wrap(s.m, opts)
+	if err != nil {
+		return err
+	}
+	if err := s.estimator.SetMeter(fm); err != nil {
+		return err
+	}
+	s.injector = fm
+	return nil
+}
+
+// FaultCounts reports the faults injected so far (zero without
+// InjectFaults).
+func (s *System) FaultCounts() faults.Counts {
+	if s.injector == nil {
+		return faults.Counts{}
+	}
+	return s.injector.Injected()
 }
 
 // VMNames returns the configured VM names in declaration order.
@@ -300,8 +336,17 @@ func (s *System) StopAll() {
 // estimation tick: collect VM states, read the meter, disaggregate the
 // measured power with the non-deterministic Shapley value.
 func (s *System) Step() (*Allocation, error) {
+	if s.injector != nil && !s.injectorArmed {
+		s.injector.SetArmed(true)
+		s.injectorArmed = true
+	}
 	s.host.Advance(1)
 	alloc, err := s.estimator.EstimateTick()
+	if s.injector != nil {
+		// Keep the injector's episode clock in lockstep with estimation
+		// ticks regardless of how many retry samples the tick consumed.
+		s.injector.NextTick()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -438,8 +483,20 @@ func (a *Allocation) Shares() map[string]float64 {
 }
 
 // Method reports how the Shapley value was computed: "exact" (2^n
-// enumeration, n <= 16) or "montecarlo".
+// enumeration, n <= 16), "montecarlo", or "fallback" for a degraded tick
+// split without the solver.
 func (a *Allocation) Method() string { return a.inner.Method }
+
+// Degraded reports whether this tick was served from a held-over meter
+// sample or a fallback split instead of a fresh plausible reading.
+func (a *Allocation) Degraded() bool { return a.inner.Degraded }
+
+// DegradedReason explains a degraded tick ("" when not degraded).
+func (a *Allocation) DegradedReason() string { return a.inner.DegradedReason }
+
+// HoldoverAge returns how many ticks old the meter sample behind this
+// allocation is (0 for a fresh reading).
+func (a *Allocation) HoldoverAge() int { return a.inner.HoldoverAgeTicks }
 
 // ---- cooperative-game primitives ----
 
