@@ -4,7 +4,7 @@ GO ?= go
 # Benchtime for the bench-json snapshot; 1x keeps `make verify` fast.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race bench bench-json verify experiments csv cover fmt vet clean fuzz-short golden
+.PHONY: all build test race bench bench-json verify experiments csv cover fmt vet clean fuzz-short golden fleetd-smoke
 
 all: build test
 
@@ -14,6 +14,9 @@ build:
 test:
 	$(GO) test ./...
 
+# The -race pass includes the chaos acceptance harnesses
+# (internal/powerd and internal/fleetd), which hammer the daemons with
+# concurrent scrapers while the meters fault.
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -53,6 +56,12 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzHistoryQuery$$' -fuzztime $(FUZZTIME) ./internal/powerd/
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceFromCSV$$' -fuzztime $(FUZZTIME) ./internal/workload/
 	$(GO) test -run '^$$' -fuzz '^FuzzGeneratorTicks$$' -fuzztime $(FUZZTIME) ./internal/workload/
+
+# End-to-end fleetd smoke: calibrate a 3-host pool, serve on an ephemeral
+# port, run 10 ticks, self-scrape /healthz and /metrics, exit non-zero on
+# any missing surface.
+fleetd-smoke:
+	$(GO) run ./cmd/fleetd -smoke -calibration-ticks 20 -log-level warn
 
 # Re-pin the golden experiment outputs after an intentional change to the
 # simulation, calibration or solvers.

@@ -1,0 +1,266 @@
+// Command fleetd runs multi-host power accounting as a monitoring
+// daemon: it places a VM request list across a simulated host pool,
+// calibrates every host, drives the fault-isolated fleet tick at a
+// fixed interval, and serves rollup allocations, per-host degradation
+// state and cumulative per-tenant energy over HTTP/JSON. A host whose
+// meter fails degrades or is quarantined on its own — the rest of the
+// pool keeps accounting.
+//
+// Usage:
+//
+//	fleetd [-listen addr] [-hosts N] [-vms name:type:tenant[:workload],...]
+//	       [-interval dur] [-seed N] [-parallelism N] [-probe N]
+//	       [-holdover N] [-stuck-threshold N] [-meter-noise W]
+//	       [-calibration-ticks N] [-fault-host H] [-fault-* ...]
+//	       [-log-level L] [-log-format F] [-smoke]
+//
+// Endpoints:
+//
+//	GET /api/v1/status
+//	GET /api/v1/allocation
+//	GET /api/v1/energy
+//	GET /healthz
+//	GET /metrics          (Prometheus text format)
+//	GET /metrics.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vmpower/internal/cliutil"
+	"vmpower/internal/faults"
+	"vmpower/internal/fleet"
+	"vmpower/internal/fleetd"
+	"vmpower/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetd:", err)
+		os.Exit(1)
+	}
+}
+
+const defaultVMs = "web1:xlarge:acme:gcc,web2:xlarge:acme:gobmk,db1:large:acme:sjeng," +
+	"train1:xlarge:ml-corp:omnetpp,train2:large:ml-corp:namd,cache1:medium:ml-corp:wrf," +
+	"dev1:small:edu-lab:tonto"
+
+func run() error {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7078", "HTTP listen address")
+		hosts    = flag.Int("hosts", 3, "physical machines in the pool")
+		vmsFlag  = flag.String("vms", defaultVMs, "comma list of name:type:tenant[:workload] VM specs")
+		interval = flag.Duration("interval", time.Second, "fleet tick interval")
+		seed     = flag.Int64("seed", 1, "random seed")
+		par      = flag.Int("parallelism", 0, "host estimation workers (0 = all cores, 1 = serial); ticks are identical at any setting")
+		probe    = flag.Int("probe", 5, "readmission probe cadence for quarantined hosts, in ticks (negative disables)")
+		holdover = flag.Int("holdover", 10, "serve a host from its last good meter sample for up to this many ticks during an outage (negative disables)")
+		stuckAt  = flag.Int("stuck-threshold", 0, "reject a reading repeated this many times in a row as a stuck meter (0 disables)")
+		noise    = flag.Float64("meter-noise", 0.25, "wall meter Gaussian sigma in watts (0 = noiseless)")
+		calib    = flag.Int("calibration-ticks", 0, "per-combination offline sample count (0 = default)")
+		fHost    = flag.Int("fault-host", 0, "host index the -fault-* injector wraps")
+		smoke    = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a few ticks, scrape /healthz and /metrics, exit")
+		logCfg   = cliutil.LogFlags(nil)
+		faultCfg = cliutil.FaultFlags(nil)
+	)
+	flag.Parse()
+
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+
+	specs, err := cliutil.ParseFleetVMSpecs(*vmsFlag)
+	if err != nil {
+		return err
+	}
+	reqs := make([]fleet.VMRequest, len(specs))
+	for i, sp := range specs {
+		reqs[i] = fleet.VMRequest{
+			Name:         sp.Name,
+			Tenant:       sp.Tenant,
+			Type:         sp.Type,
+			Workload:     sp.Workload,
+			WorkloadSeed: *seed + int64(i),
+		}
+	}
+
+	parallelism := *par
+	if parallelism == 0 {
+		parallelism = -1 // fleet convention: negative = all cores
+	}
+	f, err := fleet.New(fleet.Config{
+		Hosts:                *hosts,
+		Seed:                 *seed,
+		MeterNoise:           *noise,
+		CalibrationTicks:     *calib,
+		Parallelism:          parallelism,
+		QuarantineProbeTicks: *probe,
+		HoldoverTicks:        *holdover,
+		StuckThreshold:       *stuckAt,
+	}, reqs)
+	if err != nil {
+		return err
+	}
+	for name, h := range f.Placement() {
+		logger.Debug("placed", "vm", name, "host", h)
+	}
+
+	// The injector starts disarmed, so calibration below always sees the
+	// clean meters; chaos is armed just before the serve loop.
+	var injector *faults.Meter
+	if faultCfg.Active() {
+		opts, err := faultCfg.Options(*seed)
+		if err != nil {
+			return err
+		}
+		if *fHost < 0 || *fHost >= f.Hosts() {
+			return fmt.Errorf("-fault-host %d out of range (fleet has %d non-empty hosts)", *fHost, f.Hosts())
+		}
+		if injector, err = f.InjectFaults(*fHost, opts); err != nil {
+			return err
+		}
+	}
+
+	logger.Info("calibrating", "hosts", f.Hosts(), "vms", len(reqs))
+	if err := f.Calibrate(); err != nil {
+		return err
+	}
+	logger.Info("calibrated")
+
+	srv, err := fleetd.New(f)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	srv.Instrument(reg, logger, *interval)
+
+	if injector != nil {
+		injector.SetArmed(true)
+		logger.Info("fault injection armed",
+			"host", *fHost, "dropout", faultCfg.Dropout, "spike", faultCfg.Spike,
+			"nan", faultCfg.NaN, "stuck", faultCfg.Stuck)
+	}
+
+	if *smoke {
+		return runSmoke(srv, injector, logger)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("serving", "addr", *listen)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			return httpSrv.Shutdown(shutdownCtx)
+		case err := <-errCh:
+			return err
+		case <-ticker.C:
+			_, err := srv.Step()
+			if injector != nil {
+				injector.NextTick()
+			}
+			if err != nil {
+				shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				_ = httpSrv.Shutdown(shutdownCtx)
+				cancel()
+				return err
+			}
+		}
+	}
+}
+
+// runSmoke is the CI self-test: serve on an ephemeral loopback port, run
+// a handful of ticks as fast as they complete, then scrape /healthz and
+// /metrics and verify the fleet surface is present.
+func runSmoke(srv *fleetd.Server, injector *faults.Meter, logger *obs.Logger) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	for i := 0; i < 10; i++ {
+		if _, err := srv.Step(); err != nil {
+			return fmt.Errorf("smoke: tick %d: %w", i+1, err)
+		}
+		if injector != nil {
+			injector.NextTick()
+		}
+	}
+
+	base := "http://" + ln.Addr().String()
+	health, err := scrape(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	for _, want := range []string{`"status"`, `"hosts"`} {
+		if !strings.Contains(health, want) {
+			return fmt.Errorf("smoke: /healthz missing %s: %s", want, health)
+		}
+	}
+	metrics, err := scrape(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	for _, want := range []string{
+		`vmpower_fleet_hosts{state="healthy"}`,
+		"vmpower_fleet_ticks_total 10",
+		"vmpower_fleet_tenant_watts",
+		"vmpower_fleet_tick_duration_seconds_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("smoke: /metrics missing %q", want)
+		}
+	}
+	logger.Info("smoke ok", "addr", base, "healthz", strings.TrimSpace(health))
+	fmt.Println("fleetd smoke: ok")
+	return nil
+}
+
+// scrape GETs url and returns the body, insisting on a 2xx status.
+func scrape(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return string(body), nil
+}

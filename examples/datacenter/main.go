@@ -25,7 +25,7 @@ func main() {
 		{Name: "ci-2", Tenant: "devshop", Type: 1, Workload: "gobmk", WorkloadSeed: 9},
 		{Name: "cache", Tenant: "devshop", Type: 0, Workload: "tonto", WorkloadSeed: 10},
 	}
-	f, err := fleet.New(fleet.Config{Hosts: 3, Seed: 21}, reqs)
+	f, err := fleet.New(fleet.Config{Hosts: 3, Seed: 21, MeterNoise: 0.25}, reqs)
 	if err != nil {
 		log.Fatal(err)
 	}

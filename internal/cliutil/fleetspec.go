@@ -1,0 +1,65 @@
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"vmpower/internal/vm"
+)
+
+// FleetVMSpec is one parsed name:type:tenant[:workload] entry for the
+// multi-host tools.
+type FleetVMSpec struct {
+	Name     string
+	Type     vm.TypeID
+	Tenant   string
+	Workload string
+}
+
+// ParseFleetVMSpecs parses a comma-separated fleet spec list. Each entry
+// is name:type:tenant or name:type:tenant:workload; the workload is a
+// benchmark name from the workload catalog and defaults to empty (idle
+// until bound). Names must be unique and non-empty; tenants must be
+// non-empty.
+func ParseFleetVMSpecs(list string) ([]FleetVMSpec, error) {
+	var out []FleetVMSpec
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(list, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		parts := strings.SplitN(raw, ":", 4)
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("cliutil: bad fleet spec %q (want name:type:tenant[:workload])", raw)
+		}
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			return nil, fmt.Errorf("cliutil: fleet spec %q has an empty name", raw)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cliutil: duplicate name %q", name)
+		}
+		seen[name] = true
+		typ, ok := TypeByName[strings.TrimSpace(parts[1])]
+		if !ok {
+			return nil, fmt.Errorf("cliutil: unknown VM type %q (want small/medium/large/xlarge)", parts[1])
+		}
+		tenant := strings.TrimSpace(parts[2])
+		if tenant == "" {
+			return nil, fmt.Errorf("cliutil: fleet spec %q has an empty tenant", raw)
+		}
+		spec := FleetVMSpec{Name: name, Type: typ, Tenant: tenant}
+		if len(parts) == 4 {
+			spec.Workload = strings.TrimSpace(parts[3])
+			if spec.Workload == "" {
+				return nil, fmt.Errorf("cliutil: fleet spec %q has an empty workload", raw)
+			}
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty fleet spec list")
+	}
+	return out, nil
+}

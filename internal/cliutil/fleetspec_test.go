@@ -1,0 +1,48 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFleetVMSpecs(t *testing.T) {
+	specs, err := ParseFleetVMSpecs("web:large:acme:gcc, db:xlarge:acme, batch:small:ml-corp:sjeng")
+	if err != nil {
+		t.Fatalf("ParseFleetVMSpecs: %v", err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs, want 3", len(specs))
+	}
+	want := []FleetVMSpec{
+		{Name: "web", Type: 2, Tenant: "acme", Workload: "gcc"},
+		{Name: "db", Type: 3, Tenant: "acme"},
+		{Name: "batch", Type: 0, Tenant: "ml-corp", Workload: "sjeng"},
+	}
+	for i, w := range want {
+		if specs[i] != w {
+			t.Errorf("spec %d = %+v, want %+v", i, specs[i], w)
+		}
+	}
+}
+
+func TestParseFleetVMSpecsErrors(t *testing.T) {
+	cases := []struct {
+		list    string
+		wantErr string
+	}{
+		{"", "empty fleet spec list"},
+		{"web:large", "want name:type:tenant"},
+		{"web:huge:acme", "unknown VM type"},
+		{":large:acme", "empty name"},
+		{"web:large:", "empty tenant"},
+		{"web:large:acme:", "empty workload"},
+		{"web:large:acme,web:small:acme", "duplicate name"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseFleetVMSpecs(tc.list); err == nil {
+			t.Errorf("ParseFleetVMSpecs(%q): no error, want %q", tc.list, tc.wantErr)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ParseFleetVMSpecs(%q): err %q, want substring %q", tc.list, err, tc.wantErr)
+		}
+	}
+}

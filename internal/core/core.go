@@ -354,6 +354,17 @@ func (e *Estimator) sampleMeter() (meter.Sample, error) {
 // fiction rather than degradation.
 var ErrMeterLost = errors.New("core: meter signal lost beyond holdover bound")
 
+// Terminal reports whether an estimation error is terminal for the
+// degradation ladder: the estimator has exhausted holdover (ErrMeterLost)
+// or was never trained (ErrUntrained), so no amount of in-tick retrying
+// will yield even a degraded allocation — only an external change (the
+// meter signal returning, a model load) can. Fleet-level schedulers use
+// this to distinguish a host that must be quarantined and probed from one
+// that hit an incidental per-tick failure.
+func Terminal(err error) bool {
+	return errors.Is(err, ErrMeterLost) || errors.Is(err, ErrUntrained)
+}
+
 // meterRead is one resilient meter acquisition: the sample to estimate
 // with plus the degradation bookkeeping the tick's Allocation reports.
 type meterRead struct {

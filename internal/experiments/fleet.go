@@ -38,6 +38,7 @@ func runFleet(cfg Config) (*Result, error) {
 	f, err := fleet.New(fleet.Config{
 		Hosts:            3,
 		Seed:             cfg.Seed,
+		MeterNoise:       0.25, // 0 now means noiseless; keep the old default explicitly
 		CalibrationTicks: cfg.scale(240),
 	}, reqs)
 	if err != nil {

@@ -6,14 +6,26 @@
 // per-host games are independent, so by the Additivity axiom a tenant's
 // datacenter-wide power is simply the sum of its VMs' per-host Shapley
 // shares.
+//
+// Step is fault-isolated: each host's estimator carries its own
+// degradation ladder (see internal/core), and a host whose estimator
+// turns terminal is quarantined — its VMs reported as unaccounted, the
+// rest of the fleet still ticking — and periodically probed for
+// readmission. Hosts are advanced and estimated concurrently by a
+// bounded worker pool, but every rollup sum is accumulated in fixed host
+// order after the fan-in, so a Tick is a deterministic function of the
+// fleet's seed and fault schedule at any Parallelism.
 package fleet
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"vmpower/internal/core"
+	"vmpower/internal/faults"
 	"vmpower/internal/hypervisor"
 	"vmpower/internal/machine"
 	"vmpower/internal/meter"
@@ -46,11 +58,88 @@ type Config struct {
 	Policy machine.SchedulerPolicy
 	// Seed drives meters, collection workloads and benchmarks.
 	Seed int64
-	// MeterNoise is each wall meter's Gaussian sigma (default 0.25 W;
-	// negative disables).
+	// MeterNoise is each wall meter's Gaussian sigma in watts, following
+	// the meter.SimOptions convention: 0 is a noiseless meter, negative
+	// is rejected by New. (Earlier revisions defaulted 0 to 0.25 W and
+	// used negative as the disable sentinel, which made zero noise
+	// inexpressible; callers that want the old default now say 0.25.)
 	MeterNoise float64
 	// CalibrationTicks is the per-combination offline sample count.
 	CalibrationTicks int
+	// Parallelism bounds the worker pool Step fans hosts out to,
+	// following the core.Config convention: 0 defaults to 1 (serial),
+	// negative uses all cores (GOMAXPROCS), >= 2 uses that many workers.
+	// Tick contents are bit-for-bit identical at any setting.
+	Parallelism int
+	// QuarantineProbeTicks is the readmission probe cadence: a
+	// quarantined host is re-estimated every this many ticks (a probe
+	// that succeeds readmits the host that same tick). 0 defaults to 5;
+	// negative disables probing (quarantine is then permanent).
+	QuarantineProbeTicks int
+	// MeterRetries, HoldoverTicks, StuckThreshold and Fallback are
+	// forwarded to every host's core.Config (zero values take the core
+	// defaults), so the whole pool shares one degradation ladder.
+	MeterRetries   int
+	HoldoverTicks  int
+	StuckThreshold int
+	Fallback       core.FallbackPolicy
+}
+
+// HostState is one host's place in the fleet degradation ladder.
+type HostState int
+
+const (
+	// HostHealthy means the last tick produced a fresh allocation.
+	HostHealthy HostState = iota
+	// HostDegraded means the last tick produced a degraded allocation
+	// (holdover or fallback) — still counted in the rollups.
+	HostDegraded
+	// HostQuarantined means the host's estimator returned an error (it
+	// exhausted its degradation ladder); its VMs are unaccounted until a
+	// readmission probe succeeds.
+	HostQuarantined
+)
+
+// String names the state ("healthy", "degraded", "quarantined").
+func (s HostState) String() string {
+	switch s {
+	case HostHealthy:
+		return "healthy"
+	case HostDegraded:
+		return "degraded"
+	case HostQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// HostStatus is one host's view of a fleet tick.
+type HostStatus struct {
+	// Host is the index into the fleet's non-empty host list (the same
+	// index Placement reports).
+	Host int
+	// State is the host's place in the degradation ladder after this tick.
+	State HostState
+	// Reason explains a degraded or quarantined state ("" when healthy).
+	Reason string
+	// MeterLost marks a quarantine caused by a ladder-terminal error
+	// (core.Terminal), as opposed to an incidental estimation failure.
+	MeterLost bool
+	// QuarantinedTicks is how long the host has been quarantined
+	// (0 outside quarantine).
+	QuarantinedTicks int
+	// HoldoverAgeTicks and RejectedSamples mirror the host allocation's
+	// degradation bookkeeping (zero for quarantined hosts, which have no
+	// allocation).
+	HoldoverAgeTicks int
+	RejectedSamples  int
+	// MeasuredWatts and DynamicWatts are the host's contribution to the
+	// fleet totals this tick (zero for quarantined hosts).
+	MeasuredWatts float64
+	DynamicWatts  float64
+	// VMs are the names placed on this host, in request order.
+	VMs []string
 }
 
 // placement records where a VM landed.
@@ -60,25 +149,76 @@ type placement struct {
 	req   VMRequest
 }
 
+// hostRuntime is the fleet's per-host degradation bookkeeping.
+type hostRuntime struct {
+	state         HostState
+	reason        string
+	terminal      bool
+	quarantinedAt int // fleet tick the quarantine began
+	lastProbe     int // fleet tick of the last readmission attempt
+}
+
 // Fleet is a pool of accounted hosts.
 type Fleet struct {
 	hosts      []*hypervisor.Host
 	estimators []*core.Estimator
+	meters     []meter.Meter
+	perHost    [][]string // VM names per host, request order
 	byName     map[string]placement
 	order      []string
-	energyWs   map[string]float64
+
+	par        int
+	probeEvery int
+	emptyHosts int
+
+	// Mutable stepping state. Step must be driven from a single
+	// goroutine (it advances host clocks); the worker pool inside Step
+	// only ever touches disjoint hosts.
+	ticks       int
+	states      []hostRuntime
+	quarantines int
+	readmits    int
+	energyWs    map[string]float64
+	degradedWs  map[string]float64
 }
 
 // Tick is one datacenter-wide estimation step.
 type Tick struct {
-	// PerVM is each VM's attributed dynamic power, keyed by name.
+	// Tick is the fleet step counter (1 for the first Step).
+	Tick int
+	// PerVM is each accounted VM's attributed dynamic power, keyed by
+	// name. VMs on quarantined hosts are absent (see Unaccounted), not
+	// zero — a zero would be indistinguishable from an idle VM.
 	PerVM map[string]float64
 	// PerTenant sums PerVM by tenant.
 	PerTenant map[string]float64
-	// MeasuredTotal is the sum of all host meter readings (incl. idle).
+	// MeasuredTotal is the sum of the meter readings of the hosts that
+	// produced an allocation this tick. Quarantined hosts contribute
+	// nothing (their meters are lost), and empty hosts are never metered
+	// at all — their idle draw is invisible to the fleet; see
+	// IdleUnmeteredHosts.
 	MeasuredTotal float64
-	// DynamicTotal is the idle-deducted sum the shares add up to.
+	// DynamicTotal is the idle-deducted sum the accounted shares add up to.
 	DynamicTotal float64
+	// Degraded is true when any host is degraded or quarantined this
+	// tick. Energy integrated from degraded ticks is tracked separately
+	// (DegradedEnergyWhByTenant) so bills can exclude or annotate it.
+	Degraded bool
+	// DegradedHosts and QuarantinedHosts count hosts by state.
+	DegradedHosts    int
+	QuarantinedHosts int
+	// NewQuarantines and Readmits count state transitions on this tick.
+	NewQuarantines int
+	Readmits       int
+	// IdleUnmeteredHosts is the number of empty hosts in the pool: they
+	// draw idle power but host no game and no meter, so that draw is not
+	// part of MeasuredTotal.
+	IdleUnmeteredHosts int
+	// Unaccounted lists the VMs (request order) on quarantined hosts —
+	// present in the fleet but with no allocation this tick.
+	Unaccounted []string
+	// Hosts is every non-empty host's status this tick, in host order.
+	Hosts []HostStatus
 }
 
 // New builds the fleet: places the requested VMs, constructs one host +
@@ -89,6 +229,18 @@ func New(cfg Config, reqs []VMRequest) (*Fleet, error) {
 	}
 	if cfg.Profile.Name == "" {
 		cfg.Profile = machine.XeonProfile()
+	}
+	if cfg.MeterNoise < 0 {
+		return nil, fmt.Errorf("fleet: negative meter noise %g (0 means noiseless)", cfg.MeterNoise)
+	}
+	switch {
+	case cfg.Parallelism == 0:
+		cfg.Parallelism = 1
+	case cfg.Parallelism < 0:
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QuarantineProbeTicks == 0 {
+		cfg.QuarantineProbeTicks = 5
 	}
 	if len(reqs) == 0 {
 		return nil, errors.New("fleet: no VM requests")
@@ -148,19 +300,18 @@ func New(cfg Config, reqs []VMRequest) (*Fleet, error) {
 	}
 
 	f := &Fleet{
-		byName:   make(map[string]placement, len(reqs)),
-		energyWs: make(map[string]float64, len(reqs)),
-	}
-	noise := cfg.MeterNoise
-	switch {
-	case noise < 0:
-		noise = 0
-	case noise == 0:
-		noise = 0.25
+		byName:     make(map[string]placement, len(reqs)),
+		energyWs:   make(map[string]float64, len(reqs)),
+		degradedWs: make(map[string]float64),
+		par:        cfg.Parallelism,
+		probeEvery: cfg.QuarantineProbeTicks,
 	}
 	for h := 0; h < cfg.Hosts; h++ {
 		if len(perHost[h]) == 0 {
-			continue // empty hosts draw idle power but host no game
+			// Empty hosts draw idle power but host no game and no meter;
+			// the fleet reports them via Tick.IdleUnmeteredHosts.
+			f.emptyHosts++
+			continue
 		}
 		mach, err := machine.New(cfg.Profile, cfg.Policy)
 		if err != nil {
@@ -179,7 +330,7 @@ func New(cfg Config, reqs []VMRequest) (*Fleet, error) {
 			return nil, err
 		}
 		m, err := meter.NewSim(host.PowerSource(), meter.SimOptions{
-			NoiseStdDev: noise,
+			NoiseStdDev: cfg.MeterNoise,
 			Resolution:  0.1,
 			Seed:        cfg.Seed + int64(h)*7919,
 		})
@@ -189,6 +340,10 @@ func New(cfg Config, reqs []VMRequest) (*Fleet, error) {
 		est, err := core.New(host, m, core.Config{
 			OfflineTicksPerCombo: cfg.CalibrationTicks,
 			Seed:                 cfg.Seed + int64(h),
+			MeterRetries:         cfg.MeterRetries,
+			HoldoverTicks:        cfg.HoldoverTicks,
+			StuckThreshold:       cfg.StuckThreshold,
+			Fallback:             cfg.Fallback,
 		})
 		if err != nil {
 			return nil, err
@@ -196,10 +351,15 @@ func New(cfg Config, reqs []VMRequest) (*Fleet, error) {
 		hostIdx := len(f.hosts)
 		f.hosts = append(f.hosts, host)
 		f.estimators = append(f.estimators, est)
+		f.meters = append(f.meters, m)
+		names := make([]string, len(perHost[h]))
 		for i, r := range perHost[h] {
 			f.byName[r.Name] = placement{host: hostIdx, local: vm.ID(i), req: r}
+			names[i] = r.Name
 		}
+		f.perHost = append(f.perHost, names)
 	}
+	f.states = make([]hostRuntime, len(f.hosts))
 	// Stable reporting order: request order.
 	for _, r := range reqs {
 		f.order = append(f.order, r.Name)
@@ -210,6 +370,36 @@ func New(cfg Config, reqs []VMRequest) (*Fleet, error) {
 // Hosts returns the number of non-empty hosts in the pool.
 func (f *Fleet) Hosts() int { return len(f.hosts) }
 
+// EmptyHosts returns the number of hosts that received no VMs: they draw
+// idle power but are not metered or accounted.
+func (f *Fleet) EmptyHosts() int { return f.emptyHosts }
+
+// Ticks returns the number of Steps taken so far.
+func (f *Fleet) Ticks() int { return f.ticks }
+
+// Transitions returns the cumulative quarantine and readmission counts.
+func (f *Fleet) Transitions() (quarantines, readmits int) {
+	return f.quarantines, f.readmits
+}
+
+// VMNames returns every VM name in request order.
+func (f *Fleet) VMNames() []string { return append([]string(nil), f.order...) }
+
+// Tenants returns the sorted distinct tenant names.
+func (f *Fleet) Tenants() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, name := range f.order {
+		t := f.byName[name].req.Tenant
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Placement returns each VM's host index.
 func (f *Fleet) Placement() map[string]int {
 	out := make(map[string]int, len(f.byName))
@@ -217,6 +407,37 @@ func (f *Fleet) Placement() map[string]int {
 		out[name] = p.host
 	}
 	return out
+}
+
+// States returns every non-empty host's current state (as of the last
+// Step; all healthy before the first). Not safe concurrently with Step.
+func (f *Fleet) States() []HostStatus {
+	out := make([]HostStatus, len(f.states))
+	for i := range f.states {
+		out[i] = f.hostStatus(i, nil)
+	}
+	return out
+}
+
+// InjectFaults wraps host h's meter in the deterministic seeded fault
+// injector (package faults) and returns the injector so the driving loop
+// can arm it and advance its episode clock (NextTick once per fleet
+// Step). Call between construction and stepping, never concurrently with
+// Step; the injector starts disarmed, so Calibrate still sees the clean
+// meter.
+func (f *Fleet) InjectFaults(h int, opts faults.Options) (*faults.Meter, error) {
+	if h < 0 || h >= len(f.hosts) {
+		return nil, fmt.Errorf("fleet: host %d out of range [0,%d)", h, len(f.hosts))
+	}
+	fm, err := faults.Wrap(f.meters[h], opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.estimators[h].SetMeter(fm); err != nil {
+		return nil, err
+	}
+	f.meters[h] = fm
+	return fm, nil
 }
 
 // Calibrate runs the offline collection phase on every host.
@@ -246,29 +467,162 @@ func (f *Fleet) Calibrate() error {
 	return nil
 }
 
+// hostStatus builds host i's status view, folding in its allocation (nil
+// for quarantined or unprobed hosts).
+func (f *Fleet) hostStatus(i int, a *core.Allocation) HostStatus {
+	st := &f.states[i]
+	hs := HostStatus{
+		Host:      i,
+		State:     st.state,
+		Reason:    st.reason,
+		MeterLost: st.terminal,
+		VMs:       append([]string(nil), f.perHost[i]...),
+	}
+	if st.state == HostQuarantined {
+		hs.QuarantinedTicks = f.ticks - st.quarantinedAt
+	}
+	if a != nil {
+		hs.HoldoverAgeTicks = a.HoldoverAgeTicks
+		hs.RejectedSamples = a.RejectedSamples
+		hs.MeasuredWatts = a.MeasuredPower
+		hs.DynamicWatts = a.DynamicPower
+	}
+	return hs
+}
+
 // Step advances every host one tick and aggregates the allocations.
+//
+// Hosts are advanced and estimated by a bounded worker pool
+// (Config.Parallelism), but the aggregation runs after all workers have
+// finished, in fixed host order, so every rollup sum — and therefore the
+// whole Tick — is bit-for-bit identical at any worker count.
+//
+// A host whose estimator fails does not abort the fleet tick: the host is
+// quarantined (its VMs land in Tick.Unaccounted), and every
+// QuarantineProbeTicks the fleet re-tries it; a successful probe readmits
+// the host with that tick's allocation. Degraded (holdover/fallback)
+// allocations are counted in the rollups and flagged per host.
+//
+// Step must be driven from one goroutine; the returned error is always
+// nil today and reserved for conditions that prevent a tick entirely.
 func (f *Fleet) Step() (*Tick, error) {
-	tick := &Tick{
-		PerVM:     make(map[string]float64, len(f.byName)),
-		PerTenant: make(map[string]float64),
-	}
-	allocs := make([]*core.Allocation, len(f.estimators))
-	for i, est := range f.estimators {
-		f.hosts[i].Advance(1)
-		alloc, err := est.EstimateTick()
-		if err != nil {
-			return nil, fmt.Errorf("fleet: host %d: %w", i, err)
+	f.ticks++
+	n := len(f.hosts)
+
+	// Decide, from pre-fan-out state, which hosts to estimate: every
+	// healthy/degraded host, plus quarantined hosts on their probe tick.
+	estimate := make([]bool, n)
+	for i := range f.states {
+		st := &f.states[i]
+		if st.state != HostQuarantined {
+			estimate[i] = true
+			continue
 		}
-		allocs[i] = alloc
-		tick.MeasuredTotal += alloc.MeasuredPower
-		tick.DynamicTotal += alloc.DynamicPower
+		if f.probeEvery > 0 && f.ticks-st.lastProbe >= f.probeEvery {
+			estimate[i] = true
+			st.lastProbe = f.ticks
+		}
 	}
+
+	// Fan out: advance + estimate each host. Hosts are disjoint, so
+	// workers never share mutable state; results land at distinct
+	// indices.
+	allocs := make([]*core.Allocation, n)
+	errs := make([]error, n)
+	step := func(i int) {
+		f.hosts[i].Advance(1)
+		if estimate[i] {
+			allocs[i], errs[i] = f.estimators[i].EstimateTick()
+		}
+	}
+	if par := min(f.par, n); par <= 1 {
+		for i := 0; i < n; i++ {
+			step(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					step(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Fan in: state transitions and rollups in fixed host order.
+	tick := &Tick{
+		Tick:               f.ticks,
+		PerVM:              make(map[string]float64, len(f.byName)),
+		PerTenant:          make(map[string]float64),
+		Hosts:              make([]HostStatus, n),
+		IdleUnmeteredHosts: f.emptyHosts,
+	}
+	for i := 0; i < n; i++ {
+		st := &f.states[i]
+		switch {
+		case errs[i] != nil:
+			if st.state != HostQuarantined {
+				st.state = HostQuarantined
+				st.quarantinedAt = f.ticks
+				st.lastProbe = f.ticks
+				f.quarantines++
+				tick.NewQuarantines++
+			}
+			st.reason = errs[i].Error()
+			st.terminal = core.Terminal(errs[i])
+		case allocs[i] != nil:
+			if st.state == HostQuarantined {
+				f.readmits++
+				tick.Readmits++
+			}
+			if allocs[i].Degraded {
+				st.state = HostDegraded
+				st.reason = allocs[i].DegradedReason
+			} else {
+				st.state = HostHealthy
+				st.reason = ""
+			}
+			st.terminal = false
+		default:
+			// Quarantined and not probed this tick: state carries over.
+		}
+		tick.Hosts[i] = f.hostStatus(i, allocs[i])
+		if a := allocs[i]; a != nil {
+			tick.MeasuredTotal += a.MeasuredPower
+			tick.DynamicTotal += a.DynamicPower
+		}
+		switch st.state {
+		case HostDegraded:
+			tick.DegradedHosts++
+		case HostQuarantined:
+			tick.QuarantinedHosts++
+		}
+	}
+	tick.Degraded = tick.DegradedHosts+tick.QuarantinedHosts > 0
+
 	for _, name := range f.order {
 		p := f.byName[name]
-		w := allocs[p.host].PerVM[int(p.local)]
+		a := allocs[p.host]
+		if a == nil {
+			tick.Unaccounted = append(tick.Unaccounted, name)
+			continue
+		}
+		w := a.PerVM[int(p.local)]
 		tick.PerVM[name] = w
 		tick.PerTenant[p.req.Tenant] += w
 		f.energyWs[name] += w
+		if a.Degraded {
+			f.degradedWs[name] += w
+		}
 	}
 	return tick, nil
 }
@@ -288,10 +642,23 @@ func (f *Fleet) Run(n int, fn func(*Tick) bool) error {
 }
 
 // EnergyWhByTenant returns cumulative attributed energy per tenant in
-// watt-hours since the fleet started stepping.
+// watt-hours since the fleet started stepping, including energy from
+// degraded ticks (see DegradedEnergyWhByTenant for that slice alone).
 func (f *Fleet) EnergyWhByTenant() map[string]float64 {
 	out := make(map[string]float64)
 	for name, ws := range f.energyWs {
+		out[f.byName[name].req.Tenant] += ws / 3600
+	}
+	return out
+}
+
+// DegradedEnergyWhByTenant returns the portion of each tenant's
+// cumulative energy that was integrated from degraded (holdover or
+// fallback) host ticks — the watt-hours a bill might exclude or annotate
+// as reduced-confidence. Tenants with no degraded energy are absent.
+func (f *Fleet) DegradedEnergyWhByTenant() map[string]float64 {
+	out := make(map[string]float64)
+	for name, ws := range f.degradedWs {
 		out[f.byName[name].req.Tenant] += ws / 3600
 	}
 	return out

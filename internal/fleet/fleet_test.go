@@ -3,8 +3,10 @@ package fleet
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
+	"vmpower/internal/faults"
 	"vmpower/internal/machine"
 )
 
@@ -12,7 +14,7 @@ func quickConfig(hosts int) Config {
 	return Config{
 		Hosts:            hosts,
 		Seed:             1,
-		MeterNoise:       -1,
+		MeterNoise:       0, // noiseless (the meter.SimOptions convention)
 		CalibrationTicks: 60,
 	}
 }
@@ -187,5 +189,249 @@ func TestEmptyHostsAllowed(t *testing.T) {
 	}
 	if _, err := f.Step(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEmptyHostAccounting pins the MeasuredTotal contract: empty hosts
+// draw idle power but are never metered, so the fleet reports them as
+// IdleUnmeteredHosts instead of silently folding a fictitious reading
+// into the total.
+func TestEmptyHostAccounting(t *testing.T) {
+	reqs := []VMRequest{{Name: "only", Tenant: "t", Type: 0, Workload: "gcc"}}
+	f, err := New(quickConfig(4), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Hosts() != 1 || f.EmptyHosts() != 3 {
+		t.Fatalf("Hosts=%d EmptyHosts=%d, want 1 and 3", f.Hosts(), f.EmptyHosts())
+	}
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	tick, err := f.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick.IdleUnmeteredHosts != 3 {
+		t.Fatalf("IdleUnmeteredHosts = %d, want 3", tick.IdleUnmeteredHosts)
+	}
+	if len(tick.Hosts) != 1 {
+		t.Fatalf("per-host statuses = %d, want 1", len(tick.Hosts))
+	}
+	// One metered host: the total is one machine's draw, not four.
+	if tick.MeasuredTotal < 100 || tick.MeasuredTotal > 2*138 {
+		t.Fatalf("MeasuredTotal = %g, want a single host's reading", tick.MeasuredTotal)
+	}
+}
+
+// TestMeterNoiseConvention pins the SimOptions sentinel alignment: 0 is a
+// genuinely noiseless meter (readings differ from true power only by the
+// 0.1 W display quantization) and negative is a configuration error, not
+// a silent disable.
+func TestMeterNoiseConvention(t *testing.T) {
+	reqs := []VMRequest{{Name: "a", Tenant: "t", Type: 0, Workload: "gcc", WorkloadSeed: 1}}
+	cfg := quickConfig(1)
+	cfg.MeterNoise = -0.5
+	if _, err := New(cfg, reqs); err == nil {
+		t.Fatal("negative MeterNoise must be rejected")
+	}
+	cfg.MeterNoise = 0
+	f, err := New(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tick, err := f.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := f.hosts[0].TruePower()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Quantization moves a reading at most half a display step.
+		if gap := math.Abs(tick.MeasuredTotal - truth); gap > 0.05+1e-9 {
+			t.Fatalf("tick %d: noiseless meter off by %g W", i, gap)
+		}
+	}
+}
+
+// faultedFleet builds a 2-host fleet — four xlarge VMs (tenant "bob")
+// fill host 0, one small VM (tenant "alice") lands on host 1 — with a
+// scripted fault injector on host 0.
+func faultedFleet(t *testing.T, cfg Config, opts faults.Options) (*Fleet, *faults.Meter) {
+	t.Helper()
+	reqs := []VMRequest{
+		{Name: "x1", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 1},
+		{Name: "x2", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 2},
+		{Name: "x3", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 3},
+		{Name: "x4", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 4},
+		{Name: "s1", Tenant: "alice", Type: 0, Workload: "gcc", WorkloadSeed: 5},
+	}
+	f, err := New(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := f.Placement()
+	if place["x1"] != 0 || place["s1"] != 1 {
+		t.Fatalf("unexpected placement %v", place)
+	}
+	fm, err := f.InjectFaults(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	fm.SetArmed(true)
+	return f, fm
+}
+
+// TestHostFaultIsolation is the PR's headline regression: a dead meter on
+// host 0 must never zero (or drop) host 1's allocations. Host 0 is
+// quarantined — its VMs reported unaccounted — and readmitted by a probe
+// once the meter returns.
+func TestHostFaultIsolation(t *testing.T) {
+	cfg := quickConfig(2)
+	cfg.MeterRetries = 2
+	cfg.HoldoverTicks = 3
+	cfg.QuarantineProbeTicks = 2
+	f, fm := faultedFleet(t, cfg,
+		faults.Options{Episodes: []faults.Episode{
+			// Meter dead for injector ticks [0, 8): with no good online
+			// sample yet, host 0 turns terminal on the first tick.
+			{Start: 0, Len: 8, Kind: faults.Dropout},
+		}})
+
+	sawQuarantine, sawReadmit := false, false
+	for i := 0; i < 16; i++ {
+		tick, err := f.Step()
+		if err != nil {
+			t.Fatalf("tick %d: fleet step failed: %v", i, err)
+		}
+		// The healthy host's VM is allocated every single tick.
+		if w, ok := tick.PerVM["s1"]; !ok || w <= 0 {
+			t.Fatalf("tick %d: healthy host zeroed: s1 = %g (present %v)", i, w, ok)
+		}
+		if tick.Hosts[1].State != HostHealthy {
+			t.Fatalf("tick %d: host 1 state %v", i, tick.Hosts[1].State)
+		}
+		if tick.Hosts[0].State == HostQuarantined {
+			sawQuarantine = true
+			if !tick.Hosts[0].MeterLost {
+				t.Fatalf("tick %d: quarantine not marked meter-lost: %+v", i, tick.Hosts[0])
+			}
+			if len(tick.Unaccounted) != 4 {
+				t.Fatalf("tick %d: unaccounted = %v, want host 0's four VMs", i, tick.Unaccounted)
+			}
+			if _, ok := tick.PerVM["x1"]; ok {
+				t.Fatalf("tick %d: quarantined VM x1 still allocated", i)
+			}
+		}
+		if tick.Readmits > 0 {
+			sawReadmit = true
+			if tick.Hosts[0].State == HostQuarantined {
+				t.Fatalf("tick %d: readmitted but still quarantined", i)
+			}
+		}
+		fm.NextTick()
+	}
+	if !sawQuarantine {
+		t.Fatal("host 0 was never quarantined")
+	}
+	if !sawReadmit {
+		t.Fatal("host 0 was never readmitted after the meter returned")
+	}
+	q, r := f.Transitions()
+	if q == 0 || r == 0 {
+		t.Fatalf("transitions = %d/%d, want both nonzero", q, r)
+	}
+}
+
+// TestDegradedEnergySeparation pins the billing satellite: energy
+// integrated while a host serves held-over samples is tracked separately
+// per tenant, so a bill can exclude or annotate it.
+func TestDegradedEnergySeparation(t *testing.T) {
+	cfg := quickConfig(2)
+	cfg.MeterRetries = 2
+	cfg.HoldoverTicks = 10
+	f, fm := faultedFleet(t, cfg,
+		faults.Options{Episodes: []faults.Episode{
+			// A short outage well inside the holdover bound: host 0
+			// degrades but keeps contributing.
+			{Start: 2, Len: 3, Kind: faults.Dropout},
+		}})
+
+	sawDegraded := false
+	for i := 0; i < 8; i++ {
+		tick, err := f.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tick.Hosts[0].State == HostDegraded {
+			sawDegraded = true
+			if !tick.Degraded || tick.DegradedHosts != 1 {
+				t.Fatalf("tick %d: degradation not rolled up: %+v", i, tick)
+			}
+			if tick.Hosts[0].Reason == "" || tick.Hosts[0].HoldoverAgeTicks == 0 {
+				t.Fatalf("tick %d: degraded host missing reason/age: %+v", i, tick.Hosts[0])
+			}
+			// Degraded hosts still contribute allocations.
+			if _, ok := tick.PerVM["x1"]; !ok {
+				t.Fatalf("tick %d: degraded host dropped from rollup", i)
+			}
+		}
+		fm.NextTick()
+	}
+	if !sawDegraded {
+		t.Fatal("the outage produced no degraded host ticks")
+	}
+	deg := f.DegradedEnergyWhByTenant()
+	if deg["bob"] <= 0 {
+		t.Fatalf("bob's degraded energy = %g, want > 0", deg["bob"])
+	}
+	if deg["alice"] != 0 {
+		t.Fatalf("alice's degraded energy = %g, want 0 (her host never degraded)", deg["alice"])
+	}
+	total := f.EnergyWhByTenant()
+	if deg["bob"] >= total["bob"] {
+		t.Fatalf("degraded energy %g should be a strict slice of total %g", deg["bob"], total["bob"])
+	}
+}
+
+// TestStepParallelismDeterminism pins the rollup determinism contract:
+// the tick stream — allocations, totals, states, unaccounted lists — is
+// bit-for-bit identical at any worker count, faults included.
+func TestStepParallelismDeterminism(t *testing.T) {
+	run := func(par int) []*Tick {
+		cfg := quickConfig(2)
+		cfg.Parallelism = par
+		cfg.MeterRetries = 2
+		cfg.HoldoverTicks = 3
+		cfg.QuarantineProbeTicks = 2
+		f, fm := faultedFleet(t, cfg,
+			faults.Options{
+				Seed:        42,
+				DropoutProb: 0.3,
+				Episodes:    []faults.Episode{{Start: 3, Len: 6, Kind: faults.Dropout}},
+			})
+		out := make([]*Tick, 0, 12)
+		for i := 0; i < 12; i++ {
+			tick, err := f.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, tick)
+			fm.NextTick()
+		}
+		return out
+	}
+	serial, parallel := run(1), run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("tick streams diverge across parallelism:\nserial:   %+v\nparallel: %+v",
+			serial[len(serial)-1], parallel[len(parallel)-1])
 	}
 }

@@ -1,0 +1,298 @@
+package fleetd
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"vmpower/internal/faults"
+	"vmpower/internal/fleet"
+	"vmpower/internal/obs"
+)
+
+// chaosReqs fills hosts 0 and 1 with four xlarge VMs each (32 vCPUs, a
+// full Xeon host under FFD) and puts one small VM on host 2, so host 1
+// can be faulted while 0 and 2 stay fresh.
+func chaosReqs() []fleet.VMRequest {
+	reqs := []fleet.VMRequest{
+		{Name: "ax1", Tenant: "acme", Type: 3},
+		{Name: "ax2", Tenant: "acme", Type: 3},
+		{Name: "ax3", Tenant: "acme", Type: 3},
+		{Name: "ax4", Tenant: "acme", Type: 3},
+		{Name: "bx1", Tenant: "bigco", Type: 3},
+		{Name: "bx2", Tenant: "bigco", Type: 3},
+		{Name: "bx3", Tenant: "bigco", Type: 3},
+		{Name: "bx4", Tenant: "bigco", Type: 3},
+		{Name: "cs1", Tenant: "edu-lab", Type: 0},
+	}
+	for i := range reqs {
+		reqs[i].Workload = "gcc"
+		reqs[i].WorkloadSeed = int64(100 + i)
+	}
+	return reqs
+}
+
+// chaosSchedule is the scripted fault load on host 1: light iid
+// dropouts, a dropout burst far past the holdover bound (quarantine +
+// readmission probe cycle) and a stuck-at episode (second cycle).
+func chaosSchedule() faults.Options {
+	return faults.Options{
+		Seed:        99,
+		DropoutProb: 0.2,
+		Episodes: []faults.Episode{
+			{Start: 10, Len: 30, Kind: faults.Dropout},
+			{Start: 70, Len: 12, Kind: faults.StuckAt},
+		},
+	}
+}
+
+// chaosRig builds a calibrated 3-host fleet daemon with host 1 wrapped
+// in the chaos injector, armed only after calibration the way
+// cmd/fleetd wires it.
+func chaosRig(t *testing.T, par int) (*Server, *faults.Meter, *obs.Registry, *fleet.Fleet) {
+	t.Helper()
+	f, err := fleet.New(fleet.Config{
+		Hosts:                3,
+		Seed:                 7,
+		MeterNoise:           0.05,
+		CalibrationTicks:     40,
+		Parallelism:          par,
+		QuarantineProbeTicks: 4,
+		MeterRetries:         2,
+		HoldoverTicks:        5,
+		StuckThreshold:       4,
+	}, chaosReqs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := f.Placement()
+	for name, wantHost := range map[string]int{"ax1": 0, "bx1": 1, "cs1": 2} {
+		if placed[name] != wantHost {
+			t.Fatalf("placement: %s on host %d, want %d (full map %v)", name, placed[name], wantHost, placed)
+		}
+	}
+	fm, err := f.InjectFaults(1, chaosSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv.Instrument(reg, obs.NewLogger(io.Discard, obs.LevelError, obs.FormatKV), time.Minute)
+	fm.SetArmed(true)
+	return srv, fm, reg, f
+}
+
+// TestFleetChaosSurvival is the PR's acceptance test: 120 ticks with
+// host 1 under the scripted meter faults and concurrent HTTP scrapers.
+// Every tick must still report allocations for the fresh hosts (0 and
+// 2) with per-host Efficiency to 1e-9, host 1's degradation and
+// quarantine must be flagged per host in the tick and on /healthz
+// (degraded but 200), and the host must be readmitted after each
+// episode ends.
+func TestFleetChaosSurvival(t *testing.T) {
+	const ticks = 120
+	srv, fm, reg, f := chaosRig(t, 1)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Concurrent scrapers: the race detector checks the Step/handler
+	// publication protocol while the chaos runs.
+	done := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, p := range []string{"/healthz", "/metrics", "/api/v1/status", "/api/v1/allocation", "/api/v1/energy"} {
+				resp, err := http.Get(ts.URL + p)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	var sawDegraded, sawQuarantine, sawReadmit, sawDegraded200 bool
+	for i := 0; i < ticks; i++ {
+		tick, err := srv.Step()
+		if err != nil {
+			t.Fatalf("tick %d: fleet step failed despite isolation: %v", i+1, err)
+		}
+		fm.NextTick()
+
+		// Fresh hosts stay healthy and satisfy Efficiency every tick.
+		for _, hs := range tick.Hosts {
+			if hs.Host == 1 {
+				continue
+			}
+			if hs.State != fleet.HostHealthy {
+				t.Fatalf("tick %d: fresh host %d in state %s (%s)", i+1, hs.Host, hs.State, hs.Reason)
+			}
+			var sum float64
+			for _, name := range hs.VMs {
+				w, ok := tick.PerVM[name]
+				if !ok {
+					t.Fatalf("tick %d: %s missing from PerVM on fresh host %d", i+1, name, hs.Host)
+				}
+				sum += w
+			}
+			if math.Abs(sum-hs.DynamicWatts) > 1e-9 {
+				t.Fatalf("tick %d: host %d efficiency violated: sum %g vs dyn %g",
+					i+1, hs.Host, sum, hs.DynamicWatts)
+			}
+		}
+
+		h1 := tick.Hosts[1]
+		if h1.Host != 1 {
+			t.Fatalf("tick %d: Hosts not in host order: %+v", i+1, tick.Hosts)
+		}
+		switch h1.State {
+		case fleet.HostDegraded:
+			sawDegraded = true
+			if h1.Reason == "" {
+				t.Fatalf("tick %d: degraded host without a reason", i+1)
+			}
+			if !tick.Degraded {
+				t.Fatalf("tick %d: degraded host but tick not flagged", i+1)
+			}
+		case fleet.HostQuarantined:
+			sawQuarantine = true
+			if len(tick.Unaccounted) != 4 {
+				t.Fatalf("tick %d: quarantined host 1 but Unaccounted = %v", i+1, tick.Unaccounted)
+			}
+			if _, ok := tick.PerVM["bx1"]; ok {
+				t.Fatalf("tick %d: quarantined host's VM still allocated", i+1)
+			}
+			if _, ok := tick.PerTenant["bigco"]; ok {
+				t.Fatalf("tick %d: quarantined host's tenant still in rollup", i+1)
+			}
+			// Quarantine must surface on /healthz as degraded-but-200
+			// with a per-host reason.
+			if !sawDegraded200 {
+				var h HealthJSON
+				if code := getJSON(t, ts, "/healthz", &h); code != http.StatusOK {
+					t.Fatalf("tick %d: healthz = %d during partial quarantine, want 200", i+1, code)
+				} else if h.Status != "degraded" {
+					t.Fatalf("tick %d: healthz status %q, want degraded", i+1, h.Status)
+				} else if reason, ok := h.HostReasons["1"]; !ok || reason == "" {
+					t.Fatalf("tick %d: healthz missing host 1 reason: %+v", i+1, h)
+				}
+				sawDegraded200 = true
+			}
+		}
+		if tick.Readmits > 0 {
+			sawReadmit = true
+		}
+	}
+	close(done)
+	<-scraped
+
+	if !sawDegraded || !sawQuarantine || !sawReadmit || !sawDegraded200 {
+		t.Fatalf("chaos schedule under-exercised: degraded=%v quarantine=%v readmit=%v degraded200=%v",
+			sawDegraded, sawQuarantine, sawReadmit, sawDegraded200)
+	}
+	if c := fm.Injected(); c.Dropouts == 0 || c.Stuck == 0 {
+		t.Fatalf("schedule did not exercise all fault kinds: %+v", c)
+	}
+
+	// The obs counters must agree with the fleet's own bookkeeping.
+	if v := reg.Counter("vmpower_fleet_ticks_total", "").Value(); v != ticks {
+		t.Fatalf("ticks counter = %d, want %d", v, ticks)
+	}
+	q, r := f.Transitions()
+	if v := reg.Counter("vmpower_fleet_quarantines_total", "").Value(); v != uint64(q) {
+		t.Fatalf("quarantines counter = %d, want %d", v, q)
+	}
+	if v := reg.Counter("vmpower_fleet_readmits_total", "").Value(); v != uint64(r) {
+		t.Fatalf("readmits counter = %d, want %d", v, r)
+	}
+	var total float64
+	for _, st := range hostStates {
+		total += reg.Gauge("vmpower_fleet_hosts", "", obs.L("state", st.String())).Value()
+	}
+	if total != 3 {
+		t.Fatalf("vmpower_fleet_hosts gauges sum to %g, want 3", total)
+	}
+
+	// The per-state host gauge must be scrapeable with its labels.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`vmpower_fleet_hosts{state="healthy"}`,
+		`vmpower_fleet_hosts{state="quarantined"}`,
+		`vmpower_fleet_tenant_watts{tenant="acme"}`,
+		"vmpower_fleet_tick_duration_seconds_bucket",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+
+	// Billing separation: only the faulted host's tenant accrued
+	// degraded-tick energy.
+	var e EnergyJSON
+	if code := getJSON(t, ts, "/api/v1/energy", &e); code != http.StatusOK {
+		t.Fatalf("energy = %d", code)
+	}
+	if e.DegradedPerTenantWh["bigco"] <= 0 {
+		t.Fatalf("bigco has no degraded energy despite holdover ticks: %+v", e)
+	}
+	if e.DegradedPerTenantWh["acme"] != 0 || e.DegradedPerTenantWh["edu-lab"] != 0 {
+		t.Fatalf("fresh-host tenants accrued degraded energy: %+v", e.DegradedPerTenantWh)
+	}
+}
+
+// TestFleetChaosDeterminism pins the tentpole's aggregation contract:
+// the same chaos run is bit-for-bit identical at Parallelism 1 and
+// Parallelism NumCPU.
+func TestFleetChaosDeterminism(t *testing.T) {
+	run := func(par int) []*fleet.Tick {
+		srv, fm, _, _ := chaosRig(t, par)
+		var out []*fleet.Tick
+		for i := 0; i < 100; i++ {
+			tick, err := srv.Step()
+			if err != nil {
+				t.Fatalf("par %d tick %d: %v", par, i+1, err)
+			}
+			fm.NextTick()
+			out = append(out, tick)
+		}
+		return out
+	}
+	serial := run(1)
+	wide := run(runtime.NumCPU())
+	if !reflect.DeepEqual(serial, wide) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], wide[i]) {
+				t.Fatalf("tick %d diverges between Parallelism 1 and %d:\nserial: %+v\nwide:   %+v",
+					i+1, runtime.NumCPU(), serial[i], wide[i])
+			}
+		}
+		t.Fatal("tick streams diverge")
+	}
+}

@@ -1,0 +1,365 @@
+// Package fleetd exposes a multi-host fleet accounting pipeline over
+// HTTP/JSON, the way a datacenter operator would consume it: per-VM and
+// per-tenant allocations rolled up across the host pool, per-host
+// degradation state (healthy / degraded / quarantined), and cumulative
+// per-tenant energy counters with the degraded-tick slice broken out for
+// billing. The daemon in cmd/fleetd mounts Handler on a listener and
+// drives Step at a fixed interval.
+//
+// The health ladder mirrors the fleet's fault isolation: /healthz stays
+// 200 "degraded" (with per-host reasons) while any host still produces
+// allocations, and only flips to 503 "lost" when every host in the pool
+// is quarantined.
+package fleetd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmpower/internal/fleet"
+)
+
+// HostJSON is the wire form of one host's status.
+type HostJSON struct {
+	Host             int      `json:"host"`
+	State            string   `json:"state"`
+	Reason           string   `json:"reason,omitempty"`
+	MeterLost        bool     `json:"meter_lost,omitempty"`
+	QuarantinedTicks int      `json:"quarantined_ticks,omitempty"`
+	HoldoverAgeTicks int      `json:"holdover_age_ticks,omitempty"`
+	RejectedSamples  int      `json:"rejected_samples,omitempty"`
+	MeasuredWatts    float64  `json:"measured_watts"`
+	DynamicWatts     float64  `json:"dynamic_watts"`
+	VMs              []string `json:"vms"`
+}
+
+// TickJSON is the wire form of one fleet tick.
+type TickJSON struct {
+	Tick               int                `json:"tick"`
+	MeasuredWatts      float64            `json:"measured_watts"`
+	DynamicWatts       float64            `json:"dynamic_watts"`
+	PerVM              map[string]float64 `json:"per_vm_watts"`
+	PerTenant          map[string]float64 `json:"per_tenant_watts"`
+	Degraded           bool               `json:"degraded,omitempty"`
+	DegradedHosts      int                `json:"degraded_hosts,omitempty"`
+	QuarantinedHosts   int                `json:"quarantined_hosts,omitempty"`
+	IdleUnmeteredHosts int                `json:"idle_unmetered_hosts,omitempty"`
+	Unaccounted        []string           `json:"unaccounted,omitempty"`
+	Hosts              []HostJSON         `json:"hosts"`
+}
+
+// StatusJSON is the wire form of the daemon status.
+type StatusJSON struct {
+	Hosts         int        `json:"hosts"`
+	EmptyHosts    int        `json:"empty_hosts,omitempty"`
+	VMs           []string   `json:"vms"`
+	Tenants       []string   `json:"tenants"`
+	Ticks         int        `json:"ticks_estimated"`
+	Degraded      bool       `json:"degraded"`
+	DegradedTicks int        `json:"degraded_ticks"`
+	Quarantines   int        `json:"quarantines"`
+	Readmits      int        `json:"readmits"`
+	HostStates    []HostJSON `json:"host_states"`
+}
+
+// EnergyJSON is the wire form of the cumulative energy counters. The
+// degraded slice is the watt-hours integrated from holdover/fallback
+// ticks — included in the per-tenant totals, broken out for billing.
+type EnergyJSON struct {
+	Seconds             int                `json:"seconds"`
+	PerTenantWh         map[string]float64 `json:"per_tenant_wh"`
+	DegradedPerTenantWh map[string]float64 `json:"degraded_per_tenant_wh,omitempty"`
+	TotalWh             float64            `json:"total_wh"`
+	DegradedWh          float64            `json:"degraded_wh"`
+}
+
+// HealthJSON is the wire form of /healthz.
+type HealthJSON struct {
+	// Status is "ok", "degraded" (some hosts degraded or quarantined,
+	// the rest still accounting — 200), "lost" (every host quarantined —
+	// 503), "starting", "stalled" or "error" (503).
+	Status             string  `json:"status"`
+	Hosts              int     `json:"hosts"`
+	HealthyHosts       int     `json:"healthy_hosts"`
+	DegradedHosts      int     `json:"degraded_hosts"`
+	QuarantinedHosts   int     `json:"quarantined_hosts"`
+	Ticks              int     `json:"ticks_estimated"`
+	LastTickAgeSeconds float64 `json:"last_tick_age_seconds,omitempty"`
+	// HostReasons maps host index → degradation/quarantine reason for
+	// every non-healthy host.
+	HostReasons map[string]string `json:"host_reasons,omitempty"`
+	Error       string            `json:"error,omitempty"`
+}
+
+// Server aggregates fleet ticks and serves them.
+type Server struct {
+	f *fleet.Fleet
+
+	// telemetry is nil until Instrument; Step and the HTTP middleware
+	// pay one atomic load to find out.
+	telemetry atomic.Pointer[serverObs]
+	now       func() time.Time
+	createdAt time.Time
+
+	mu            sync.RWMutex
+	latest        *TickJSON
+	energy        EnergyJSON
+	ticks         int
+	degradedTicks int
+	quarantines   int
+	readmits      int
+	lastTickAt    time.Time
+	lastErr       string
+}
+
+// New builds a Server over a (to-be-)calibrated fleet.
+func New(f *fleet.Fleet) (*Server, error) {
+	if f == nil {
+		return nil, errors.New("fleetd: nil fleet")
+	}
+	return &Server{f: f, now: time.Now, createdAt: time.Now()}, nil
+}
+
+// Step advances the fleet one tick and records the result for the HTTP
+// surface. Like powerd.Server.Step it must be driven from a single
+// goroutine (it advances host clocks) but may run concurrently with any
+// handler: a tick's outputs are published in one critical section.
+func (s *Server) Step() (*fleet.Tick, error) {
+	o := s.telemetry.Load()
+	start := time.Now()
+	tick, err := s.f.Step()
+	if err != nil {
+		o.noteTickError(err)
+		s.mu.Lock()
+		s.lastErr = err.Error()
+		s.mu.Unlock()
+		return nil, err
+	}
+	wire := wireTick(tick)
+	energy := energyJSON(s.f)
+	s.mu.Lock()
+	s.latest = wire
+	s.energy = energy
+	s.ticks++
+	if tick.Degraded {
+		s.degradedTicks++
+	}
+	s.quarantines += tick.NewQuarantines
+	s.readmits += tick.Readmits
+	s.lastTickAt = s.now()
+	s.lastErr = ""
+	s.mu.Unlock()
+	o.noteTick(s.now(), time.Since(start), tick, wire)
+	return tick, nil
+}
+
+// wireTick converts a fleet tick to its wire form.
+func wireTick(tick *fleet.Tick) *TickJSON {
+	wire := &TickJSON{
+		Tick:               tick.Tick,
+		MeasuredWatts:      tick.MeasuredTotal,
+		DynamicWatts:       tick.DynamicTotal,
+		PerVM:              make(map[string]float64, len(tick.PerVM)),
+		PerTenant:          make(map[string]float64, len(tick.PerTenant)),
+		Degraded:           tick.Degraded,
+		DegradedHosts:      tick.DegradedHosts,
+		QuarantinedHosts:   tick.QuarantinedHosts,
+		IdleUnmeteredHosts: tick.IdleUnmeteredHosts,
+		Unaccounted:        append([]string(nil), tick.Unaccounted...),
+		Hosts:              wireHosts(tick.Hosts),
+	}
+	for name, w := range tick.PerVM {
+		wire.PerVM[name] = w
+	}
+	for tenant, w := range tick.PerTenant {
+		wire.PerTenant[tenant] = w
+	}
+	return wire
+}
+
+func wireHosts(statuses []fleet.HostStatus) []HostJSON {
+	out := make([]HostJSON, len(statuses))
+	for i, hs := range statuses {
+		out[i] = HostJSON{
+			Host:             hs.Host,
+			State:            hs.State.String(),
+			Reason:           hs.Reason,
+			MeterLost:        hs.MeterLost,
+			QuarantinedTicks: hs.QuarantinedTicks,
+			HoldoverAgeTicks: hs.HoldoverAgeTicks,
+			RejectedSamples:  hs.RejectedSamples,
+			MeasuredWatts:    hs.MeasuredWatts,
+			DynamicWatts:     hs.DynamicWatts,
+			VMs:              hs.VMs,
+		}
+	}
+	return out
+}
+
+// energyJSON snapshots the fleet's cumulative energy counters. Called
+// from Step's goroutine only (the fleet's maps are not lock-protected).
+func energyJSON(f *fleet.Fleet) EnergyJSON {
+	out := EnergyJSON{
+		Seconds:     f.Ticks(),
+		PerTenantWh: f.EnergyWhByTenant(),
+	}
+	deg := f.DegradedEnergyWhByTenant()
+	if len(deg) > 0 {
+		out.DegradedPerTenantWh = deg
+	}
+	for _, wh := range out.PerTenantWh {
+		out.TotalWh += wh
+	}
+	for _, wh := range deg {
+		out.DegradedWh += wh
+	}
+	return out
+}
+
+// Handler returns the HTTP API:
+//
+//	GET /api/v1/status     — pool layout, per-host states, transition counts
+//	GET /api/v1/allocation — the most recent fleet tick
+//	GET /api/v1/energy     — cumulative per-tenant energy (degraded slice broken out)
+//	GET /healthz           — liveness ladder (503 only when all hosts are lost)
+//
+// When the server is instrumented (call Instrument before Handler), the
+// mux additionally serves GET /metrics and GET /metrics.json.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/status", s.instrumented("/api/v1/status", s.handleStatus))
+	mux.HandleFunc("GET /api/v1/allocation", s.instrumented("/api/v1/allocation", s.handleAllocation))
+	mux.HandleFunc("GET /api/v1/energy", s.instrumented("/api/v1/energy", s.handleEnergy))
+	mux.HandleFunc("GET /healthz", s.instrumented("/healthz", s.handleHealthz))
+	if o := s.telemetry.Load(); o != nil {
+		mux.HandleFunc("GET /metrics", s.instrumented("/metrics", o.reg.Handler().ServeHTTP))
+		mux.HandleFunc("GET /metrics.json", s.instrumented("/metrics.json", o.reg.HandlerJSON().ServeHTTP))
+	}
+	return mux
+}
+
+// handleHealthz reports fleet liveness. The ladder, most to least
+// severe: "error" (503, the last Step failed), "starting"/"stalled"
+// (503 once the loop is quiet past three intervals), "lost" (503, every
+// host quarantined — the fleet is ticking but accounts for nothing),
+// "degraded" (200, some hosts degraded or quarantined with per-host
+// reasons; the rest of the pool still accounts), "ok" (200).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	interval := time.Second
+	if o := s.telemetry.Load(); o != nil {
+		interval = o.interval
+	}
+	stallAfter := 3 * interval
+	now := s.now()
+	s.mu.RLock()
+	ticks := s.ticks
+	lastTickAt := s.lastTickAt
+	lastErr := s.lastErr
+	latest := s.latest
+	s.mu.RUnlock()
+
+	h := HealthJSON{Hosts: s.f.Hosts(), Ticks: ticks}
+	status := http.StatusOK
+	switch {
+	case lastErr != "":
+		h.Status = "error"
+		h.Error = lastErr
+		status = http.StatusServiceUnavailable
+	case ticks == 0:
+		h.Status = "starting"
+		if now.Sub(s.createdAt) > stallAfter {
+			h.Status = "stalled"
+			status = http.StatusServiceUnavailable
+		}
+	default:
+		h.LastTickAgeSeconds = now.Sub(lastTickAt).Seconds()
+		if now.Sub(lastTickAt) > stallAfter {
+			h.Status = "stalled"
+			status = http.StatusServiceUnavailable
+			break
+		}
+		h.DegradedHosts = latest.DegradedHosts
+		h.QuarantinedHosts = latest.QuarantinedHosts
+		h.HealthyHosts = h.Hosts - h.DegradedHosts - h.QuarantinedHosts
+		for _, hj := range latest.Hosts {
+			if hj.State != fleet.HostHealthy.String() {
+				if h.HostReasons == nil {
+					h.HostReasons = make(map[string]string)
+				}
+				h.HostReasons[strconv.Itoa(hj.Host)] = fmt.Sprintf("%s: %s", hj.State, hj.Reason)
+			}
+		}
+		switch {
+		case h.QuarantinedHosts == h.Hosts:
+			h.Status = "lost"
+			status = http.StatusServiceUnavailable
+		case latest.Degraded:
+			h.Status = "degraded"
+		default:
+			h.Status = "ok"
+		}
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	ticks := s.ticks
+	degradedTicks := s.degradedTicks
+	quarantines := s.quarantines
+	readmits := s.readmits
+	latest := s.latest
+	s.mu.RUnlock()
+	st := StatusJSON{
+		Hosts:         s.f.Hosts(),
+		EmptyHosts:    s.f.EmptyHosts(),
+		VMs:           s.f.VMNames(),
+		Tenants:       s.f.Tenants(),
+		Ticks:         ticks,
+		DegradedTicks: degradedTicks,
+		Quarantines:   quarantines,
+		Readmits:      readmits,
+	}
+	if latest != nil {
+		st.Degraded = latest.Degraded
+		st.HostStates = latest.Hosts
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	latest := s.latest
+	s.mu.RUnlock()
+	if latest == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "no tick yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, latest)
+}
+
+func (s *Server) handleEnergy(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	energy := s.energy
+	s.mu.RUnlock()
+	if energy.PerTenantWh == nil {
+		energy.PerTenantWh = map[string]float64{}
+	}
+	writeJSON(w, http.StatusOK, energy)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}

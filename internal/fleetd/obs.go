@@ -1,0 +1,208 @@
+package fleetd
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"vmpower/internal/fleet"
+	"vmpower/internal/obs"
+	"vmpower/internal/shapley"
+)
+
+// endpoints is the daemon's HTTP surface, enumerated so the per-endpoint
+// request metrics have a fixed, bounded label set.
+var endpoints = []string{
+	"/api/v1/status",
+	"/api/v1/allocation",
+	"/api/v1/energy",
+	"/healthz",
+	"/metrics",
+	"/metrics.json",
+}
+
+// hostStates enumerates the fleet host states so the
+// vmpower_fleet_hosts{state=...} gauge family is fixed at startup.
+var hostStates = []fleet.HostState{fleet.HostHealthy, fleet.HostDegraded, fleet.HostQuarantined}
+
+// serverObs bundles the fleet daemon's observability surface. All
+// methods are nil-safe: an uninstrumented Server carries a nil
+// *serverObs and pays one atomic load per tick/request.
+type serverObs struct {
+	reg      *obs.Registry
+	log      *obs.Logger
+	interval time.Duration
+
+	ticks       *obs.Counter
+	tickErrors  *obs.Counter
+	degraded    *obs.Counter
+	quarantines *obs.Counter
+	readmits    *obs.Counter
+	unaccounted *obs.Gauge
+	lastTick    *obs.Gauge
+	measured    *obs.Gauge
+	dynamic     *obs.Gauge
+	tickLat     *obs.Histogram
+	hostsBy     map[fleet.HostState]*obs.Gauge
+	tenantWatts map[string]*obs.Gauge
+	hostWatts   map[int]*obs.Gauge
+
+	http map[string]httpMetrics
+}
+
+type httpMetrics struct {
+	reqs *obs.Counter
+	lat  *obs.Histogram
+}
+
+// Instrument activates metrics and structured logging for the fleet
+// daemon, and instruments the shapley package on the same registry so
+// one scrape covers every host's solver. Call it before Handler so
+// /metrics and /metrics.json are mounted. interval is the expected Step
+// cadence (the /healthz stall threshold is 3x it); <= 0 defaults to
+// 1 s. Instrument(nil, ...) deactivates everything.
+func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Duration) {
+	if reg == nil {
+		s.telemetry.Store(nil)
+		shapley.Instrument(nil)
+		return
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	tenants := s.f.Tenants()
+	o := &serverObs{
+		reg:      reg,
+		log:      log,
+		interval: interval,
+		ticks:    reg.Counter("vmpower_fleet_ticks_total", "fleet estimation ticks completed"),
+		tickErrors: reg.Counter("vmpower_fleet_tick_errors_total",
+			"fleet estimation ticks that failed entirely"),
+		degraded: reg.Counter("vmpower_fleet_degraded_ticks_total",
+			"fleet ticks with at least one degraded or quarantined host"),
+		quarantines: reg.Counter("vmpower_fleet_quarantines_total",
+			"host transitions into quarantine"),
+		readmits: reg.Counter("vmpower_fleet_readmits_total",
+			"host readmissions after a successful quarantine probe"),
+		unaccounted: reg.Gauge("vmpower_fleet_unaccounted_vms",
+			"VMs on quarantined hosts at the last tick (no allocation)"),
+		lastTick: reg.Gauge("vmpower_fleet_last_tick_timestamp_seconds",
+			"unix time of the last fleet tick"),
+		measured: reg.Gauge("vmpower_fleet_measured_watts",
+			"summed meter readings across accounting hosts at the last tick"),
+		dynamic: reg.Gauge("vmpower_fleet_dynamic_watts",
+			"summed dynamic (above-idle) power across accounting hosts at the last tick"),
+		tickLat: reg.Histogram("vmpower_fleet_tick_duration_seconds",
+			"fleet tick latency (all hosts advanced and estimated)", obs.DefDurationBuckets),
+		hostsBy:     make(map[fleet.HostState]*obs.Gauge, len(hostStates)),
+		tenantWatts: make(map[string]*obs.Gauge, len(tenants)),
+		hostWatts:   make(map[int]*obs.Gauge, s.f.Hosts()),
+		http:        make(map[string]httpMetrics, len(endpoints)),
+	}
+	for _, st := range hostStates {
+		o.hostsBy[st] = reg.Gauge("vmpower_fleet_hosts",
+			"hosts by degradation state at the last tick", obs.L("state", st.String()))
+	}
+	for _, tenant := range tenants {
+		o.tenantWatts[tenant] = reg.Gauge("vmpower_fleet_tenant_watts",
+			"per-tenant attributed power at the last tick", obs.L("tenant", tenant))
+	}
+	for _, hs := range s.f.States() {
+		o.hostWatts[hs.Host] = reg.Gauge("vmpower_fleet_host_measured_watts",
+			"per-host meter reading at the last tick (0 while quarantined)",
+			obs.L("host", strconv.Itoa(hs.Host)))
+	}
+	for _, p := range endpoints {
+		o.http[p] = httpMetrics{
+			reqs: reg.Counter("vmpower_http_requests_total",
+				"HTTP requests served", obs.L("path", p)),
+			lat: reg.Histogram("vmpower_http_request_duration_seconds",
+				"HTTP request latency", obs.DefDurationBuckets, obs.L("path", p)),
+		}
+	}
+	shapley.Instrument(reg)
+	s.telemetry.Store(o)
+}
+
+// noteTick publishes the rollup and per-host gauges of a completed
+// fleet tick and emits warn lines for degraded/quarantined hosts.
+func (o *serverObs) noteTick(now time.Time, dur time.Duration, tick *fleet.Tick, wire *TickJSON) {
+	if o == nil {
+		return
+	}
+	o.ticks.Inc()
+	o.tickLat.Observe(dur.Seconds())
+	o.lastTick.Set(float64(now.UnixNano()) / 1e9)
+	o.measured.Set(tick.MeasuredTotal)
+	o.dynamic.Set(tick.DynamicTotal)
+	o.unaccounted.Set(float64(len(tick.Unaccounted)))
+	if tick.Degraded {
+		o.degraded.Inc()
+	}
+	if tick.NewQuarantines > 0 {
+		o.quarantines.Add(uint64(tick.NewQuarantines))
+	}
+	if tick.Readmits > 0 {
+		o.readmits.Add(uint64(tick.Readmits))
+	}
+	counts := map[fleet.HostState]int{}
+	for _, hs := range tick.Hosts {
+		counts[hs.State]++
+		o.hostWatts[hs.Host].Set(hs.MeasuredWatts)
+		if hs.State != fleet.HostHealthy && o.log.Enabled(obs.LevelWarn) {
+			o.log.Warn("host not healthy",
+				"tick", tick.Tick,
+				"host", hs.Host,
+				"state", hs.State.String(),
+				"reason", hs.Reason)
+		}
+	}
+	for _, st := range hostStates {
+		o.hostsBy[st].Set(float64(counts[st]))
+	}
+	for tenant, w := range wire.PerTenant {
+		o.tenantWatts[tenant].Set(w)
+	}
+	// Tenants wholly on quarantined hosts drop out of PerTenant; zero
+	// their gauges rather than freezing the last attributed value.
+	for tenant, g := range o.tenantWatts {
+		if _, ok := wire.PerTenant[tenant]; !ok {
+			g.Set(0)
+		}
+	}
+	if o.log.Enabled(obs.LevelDebug) {
+		o.log.Debug("fleet tick",
+			"tick", tick.Tick,
+			"measured_watts", tick.MeasuredTotal,
+			"dynamic_watts", tick.DynamicTotal,
+			"degraded_hosts", tick.DegradedHosts,
+			"quarantined_hosts", tick.QuarantinedHosts)
+	}
+}
+
+func (o *serverObs) noteTickError(err error) {
+	if o == nil {
+		return
+	}
+	o.tickErrors.Inc()
+	o.log.Error("fleet tick failed", "err", err)
+}
+
+// instrumented wraps an endpoint handler with the per-path request
+// counter and latency histogram. Uninstrumented servers dispatch
+// straight through (one atomic load, no time.Now).
+func (s *Server) instrumented(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		o := s.telemetry.Load()
+		if o == nil {
+			h(w, r)
+			return
+		}
+		start := time.Now()
+		h(w, r)
+		if hm, ok := o.http[path]; ok {
+			hm.reqs.Inc()
+			hm.lat.Observe(time.Since(start).Seconds())
+		}
+	}
+}
