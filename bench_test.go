@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"testing"
 
+	"vmpower/internal/core"
 	"vmpower/internal/experiments"
+	"vmpower/internal/hypervisor"
 	"vmpower/internal/machine"
 	"vmpower/internal/meter"
 	"vmpower/internal/meter/serial"
@@ -373,6 +375,88 @@ func BenchmarkOnlineEstimationTick(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Step(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateTick measures one exact estimation tick on a
+// calibrated host at the practical sizes n = 8 and n = 16, in the two
+// regimes that bracket the compiled plan's incremental tabulation:
+// steady (constant workloads — after the first tick every coalition is
+// reused verbatim) and all-dirty (every VM's state changes every tick —
+// the whole 2^n table is re-evaluated). plan=false forces the legacy
+// path via DisableWorthPlan for before/after comparison; allocs/op is
+// the headline metric for the compiled plan.
+func BenchmarkEstimateTick(b *testing.B) {
+	run := func(b *testing.B, n int, steady, plan bool) {
+		mach, err := machine.New(machine.XeonProfile(), machine.Pack)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vms := make([]vm.VM, n)
+		for i := range vms {
+			vms[i] = vm.VM{Name: fmt.Sprintf("vm%02d", i), Type: 0}
+		}
+		set, err := vm.NewSet(vm.PaperCatalog(), vms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		host, err := hypervisor.NewHost(mach, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := meter.Perfect(host.PowerSource())
+		if err != nil {
+			b.Fatal(err)
+		}
+		est, err := core.New(host, m, core.Config{
+			Seed:                 1,
+			OfflineTicksPerCombo: 40,
+			IdleMeasureTicks:     3,
+			DisableWorthPlan:     !plan,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := est.CollectOffline(); err != nil {
+			b.Fatal(err)
+		}
+		for i := range vms {
+			var g workload.Generator
+			if steady {
+				g = workload.Constant("steady", vm.State{
+					vm.CPU:    float64(i%5) / 5,
+					vm.Memory: float64(i%3) / 10,
+					vm.DiskIO: float64(i%2) / 10,
+				})
+			} else {
+				g = workload.Synthetic{Seed: int64(i + 1)}
+			}
+			if err := host.Attach(vm.ID(i), g); err != nil {
+				b.Fatal(err)
+			}
+		}
+		host.SetCoalition(vm.GrandCoalition(n))
+		host.Advance(1)
+		if _, err := est.EstimateTick(); err != nil { // warm-up: first tick tabulates in full
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			host.Advance(1)
+			if _, err := est.EstimateTick(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, n := range []int{8, 16} {
+		for _, regime := range []string{"steady", "alldirty"} {
+			for _, plan := range []bool{true, false} {
+				b.Run(fmt.Sprintf("n=%d/%s/plan=%v", n, regime, plan), func(b *testing.B) {
+					run(b, n, regime == "steady", plan)
+				})
+			}
 		}
 	}
 }

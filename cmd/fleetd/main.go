@@ -12,7 +12,7 @@
 //	       [-interval dur] [-seed N] [-parallelism N] [-probe N]
 //	       [-holdover N] [-stuck-threshold N] [-meter-noise W]
 //	       [-calibration-ticks N] [-fault-host H] [-fault-* ...]
-//	       [-log-level L] [-log-format F] [-smoke]
+//	       [-log-level L] [-log-format F] [-pprof] [-smoke]
 //
 // Endpoints:
 //
@@ -22,6 +22,7 @@
 //	GET /healthz
 //	GET /metrics          (Prometheus text format)
 //	GET /metrics.json
+//	GET /debug/pprof/*    (with -pprof)
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -70,6 +72,7 @@ func run() error {
 		noise    = flag.Float64("meter-noise", 0.25, "wall meter Gaussian sigma in watts (0 = noiseless)")
 		calib    = flag.Int("calibration-ticks", 0, "per-combination offline sample count (0 = default)")
 		fHost    = flag.Int("fault-host", 0, "host index the -fault-* injector wraps")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		smoke    = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a few ticks, scrape /healthz and /metrics, exit")
 		logCfg   = cliutil.LogFlags(nil)
 		faultCfg = cliutil.FaultFlags(nil)
@@ -160,10 +163,22 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	var handler http.Handler = srv.Handler()
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = outer
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Info("serving", "addr", *listen)
+		logger.Info("serving", "addr", *listen, "pprof", *pprofOn)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -163,6 +164,13 @@ type Config struct {
 	// Fallback selects the degraded-mode allocation policy on
 	// solver/worth failure. Default FallbackNone.
 	Fallback FallbackPolicy
+	// DisableWorthPlan turns off the compiled worth plan and the
+	// incremental cross-tick tabulation, forcing EstimateTick through the
+	// legacy per-coalition evaluation path (ClassedFeaturesFor +
+	// Approximator.Estimate, full tabulation every tick). The two paths
+	// produce bit-for-bit identical allocations; the flag exists for
+	// benchmarking the win and as an escape hatch.
+	DisableWorthPlan bool
 }
 
 func (c Config) withDefaults() Config {
@@ -263,6 +271,32 @@ type Estimator struct {
 	stuckRun     int
 	lastRaw      float64
 	lastShares   []float64
+
+	// Compiled-plan state, touched only by the estimation goroutine. The
+	// plan is recompiled lazily whenever the approximator's epoch moves
+	// (retraining, model reload); planTried gates retrying a compile that
+	// failed until the model actually changes again.
+	plan      *vhc.Plan
+	planEpoch uint64
+	planTried bool
+	scratch   tickScratch
+}
+
+// tickScratch is the buffer set the plan-based exact path reuses across
+// ticks: the worth table (for the incremental dirty-coalition recurrence),
+// the φ vector and the solver's shard partials, plus the previous tick's
+// states for dirty detection. Owned exclusively by the estimation
+// goroutine (EstimateTickSpan's single-goroutine contract); the shapley
+// *Into calls may read the table from worker goroutines during a solve
+// but ownership returns to the caller before the solve returns.
+type tickScratch struct {
+	valid      bool         // table holds the previous tick's worths
+	plan       *vhc.Plan    // the plan the table was evaluated under
+	running    vm.Coalition // previous tick's running set
+	prevStates []vm.State
+	table      []float64
+	phi        []float64
+	partials   []float64
 }
 
 // New builds an Estimator over a host and a meter.
@@ -622,7 +656,7 @@ func (e *Estimator) EstimateTickSpan(sp *obs.Span) (*Allocation, error) {
 		return nil, err
 	}
 	sp.Mark("meter")
-	alloc, err := e.estimateSpan(snap, rd.sample.Power, sp)
+	alloc, err := e.estimateTick(snap, rd.sample.Power, sp)
 	if err != nil {
 		alloc, err = e.fallbackAllocation(snap, rd.sample.Power, err)
 		if err != nil {
@@ -709,10 +743,15 @@ func (e *Estimator) Estimate(snap hypervisor.Snapshot, measuredTotal float64) (*
 }
 
 // estimateSpan is Estimate with stage marks. On the exact path the worth
-// tabulation and the Shapley accumulation are separate shapley calls
-// (Exact ≡ Tabulate + ExactFromTable, so results are unchanged), letting
-// the span split "worth" from "solve"; Monte-Carlo interleaves worth
-// evaluation with sampling, so its whole run lands in "solve".
+// tabulation and the Shapley accumulation are separate shapley calls,
+// letting the span split "worth" from "solve"; Monte-Carlo interleaves
+// worth evaluation with sampling, so its whole run lands in "solve".
+//
+// The exact path always runs the sharded engine, even at Parallelism 1
+// (where it executes on the calling goroutine): the shard decomposition
+// depends only on n, so the allocation is bit-for-bit identical at every
+// parallelism setting — and identical to the compiled-plan tick path,
+// which uses the same decomposition (see estimateTick).
 func (e *Estimator) estimateSpan(snap hypervisor.Snapshot, measuredTotal float64, sp *obs.Span) (*Allocation, error) {
 	if !e.trained {
 		return nil, ErrUntrained
@@ -744,18 +783,10 @@ func (e *Estimator) estimateSpan(snap hypervisor.Snapshot, measuredTotal float64
 	if n <= e.cfg.ExactMaxPlayers {
 		alloc.Method = "exact"
 		var table []float64
-		if e.cfg.Parallelism == 1 {
-			table, err = shapley.Tabulate(n, worth)
-		} else {
-			table, err = shapley.TabulateParallel(n, worth, e.cfg.Parallelism)
-		}
+		table, err = shapley.TabulateParallel(n, worth, e.cfg.Parallelism)
 		if err == nil {
 			sp.Mark("worth")
-			if e.cfg.Parallelism == 1 {
-				phi, err = shapley.ExactFromTable(n, table)
-			} else {
-				phi, err = shapley.ExactFromTableParallel(n, table, e.cfg.Parallelism)
-			}
+			phi, err = shapley.ExactFromTableParallel(n, table, e.cfg.Parallelism)
 		}
 	} else {
 		alloc.Method = "montecarlo"
@@ -834,6 +865,223 @@ func (e *Estimator) buildWorth(snap hypervisor.Snapshot, dyn float64) (shapley.W
 		defer mu.Unlock()
 		return worthErr
 	}
+}
+
+// ensurePlan returns the compiled worth plan for the current model epoch,
+// compiling one lazily when the model has changed since the last compile
+// (CollectOffline, LoadModel, or any direct approximator mutation — all
+// advance vhc.Approximator.Epoch). It returns nil when the plan is
+// disabled, the estimator is untrained, or compilation failed for this
+// epoch — the caller then serves the legacy path; a failed compile is not
+// retried until the model changes again.
+func (e *Estimator) ensurePlan() *vhc.Plan {
+	if e.cfg.DisableWorthPlan || !e.trained {
+		return nil
+	}
+	epoch := e.approx.Epoch()
+	if e.planTried && e.planEpoch == epoch {
+		return e.plan // may be nil: compile failed for this epoch
+	}
+	p, err := vhc.NewPlan(e.host.Set(), e.classes, e.approx)
+	e.planTried = true
+	if err != nil {
+		e.plan = nil
+		e.planEpoch = epoch
+		metrics().notePlanCompileError()
+		return nil
+	}
+	e.plan = p
+	e.planEpoch = p.Epoch()
+	metrics().notePlanCompile()
+	return p
+}
+
+// planWorth is buildWorth over a compiled plan: the same coalition
+// semantics (measured dynamic power for the running grand coalition, 0
+// for the empty set, stopped VMs masked out as dummies) with vhc.Plan.Eval
+// replacing the allocating ClassedFeaturesFor + Approximator.Estimate
+// pair. Same thread-safety contract as buildWorth; Plan.Eval is immutable
+// and lock-free, so concurrent shard evaluations never contend.
+func planWorth(plan *vhc.Plan, running vm.Coalition, states []vm.State, dyn float64) (shapley.WorthFunc, func() error) {
+	var mu sync.Mutex
+	var worthErr error
+	capture := func(err error) {
+		mu.Lock()
+		if worthErr == nil {
+			worthErr = err
+		}
+		mu.Unlock()
+	}
+	worth := func(s vm.Coalition) float64 {
+		s &= running // stopped VMs are dummies
+		if s == running {
+			return dyn
+		}
+		if s.IsEmpty() {
+			return 0
+		}
+		p, err := plan.Eval(s, states)
+		if err != nil {
+			capture(err)
+			return 0
+		}
+		return p
+	}
+	return worth, func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return worthErr
+	}
+}
+
+// estimateTick is the EstimateTick engine: estimateSpan plus the
+// compiled-plan fast path. When a plan is available the 2^n worth
+// evaluations run allocation-free through Plan.Eval, the worth table, φ
+// and shard partials live in the estimator's reusable scratch, and ticks
+// whose running set and plan match the previous tick re-evaluate only the
+// coalitions intersecting the set of VMs whose (quantized) states changed
+// — everything else is reused verbatim. The result is bit-for-bit
+// identical to the legacy estimateSpan at any parallelism: Plan.Eval
+// reproduces the legacy worth bits, a reused table entry is exactly what
+// re-evaluation would produce (worths are pure functions of unchanged
+// member states), and both paths run the same sharded accumulation.
+//
+// Like EstimateTickSpan, this mutates estimator state and must be driven
+// from a single goroutine; Estimate stays on the pure legacy path.
+func (e *Estimator) estimateTick(snap hypervisor.Snapshot, measuredTotal float64, sp *obs.Span) (*Allocation, error) {
+	if !e.trained {
+		return nil, ErrUntrained
+	}
+	plan := e.ensurePlan()
+	if plan == nil {
+		return e.estimateSpan(snap, measuredTotal, sp)
+	}
+	n := e.host.Set().Len()
+	dyn := measuredTotal - e.idlePower
+	if dyn < 0 {
+		dyn = 0
+	}
+	running := snap.Coalition
+
+	alloc := &Allocation{
+		Tick:          snap.Tick,
+		Coalition:     running,
+		MeasuredPower: measuredTotal,
+		DynamicPower:  dyn,
+	}
+	if running.IsEmpty() {
+		alloc.Method = "exact"
+		alloc.PerVM = make([]float64, n)
+		return e.attributeIdle(alloc), nil
+	}
+
+	worth, worthErr := planWorth(plan, running, snap.States, dyn)
+
+	var phi []float64
+	var err error
+	if n <= e.cfg.ExactMaxPlayers {
+		alloc.Method = "exact"
+		err = e.exactIncremental(plan, snap, worth, dyn, n, sp)
+		if err == nil {
+			phi = append(make([]float64, 0, n), e.scratch.phi...)
+		}
+	} else {
+		alloc.Method = "montecarlo"
+		var res *shapley.MCResult
+		res, err = shapley.MonteCarlo(n, worth, shapley.MCOptions{
+			Permutations: e.cfg.MCPermutations,
+			Seed:         e.cfg.Seed ^ int64(snap.Tick),
+			Parallelism:  e.cfg.Parallelism,
+		})
+		if res != nil {
+			phi = res.Phi
+		}
+	}
+	sp.Mark("solve")
+	if err == nil {
+		if werr := worthErr(); werr != nil {
+			err = fmt.Errorf("core: worth evaluation: %w", werr)
+		}
+	}
+	if err != nil {
+		// A failed worth evaluation may have written zeros into the
+		// table; never reuse it.
+		e.scratch.valid = false
+		return nil, err
+	}
+	alloc.PerVM = phi
+	alloc = e.attributeIdle(alloc)
+	sp.Mark("normalize")
+	return alloc, nil
+}
+
+// exactIncremental runs the exact path into the estimator's scratch
+// buffers, incrementally when possible. The cross-tick recurrence: if the
+// previous tick tabulated the same plan over the same running set, a
+// coalition's worth can only have changed if it contains a VM whose state
+// changed (the dirty set) — those masks are re-evaluated in place — or if
+// it maps to the running grand coalition, whose worth is the measured
+// dynamic power of *this* tick; those entries are rewritten explicitly.
+// Everything else (2^n − 2^(n−d) of the table for d dirty VMs) is reused
+// verbatim, which is exact because worths are pure functions of their
+// members' states. φ lands in e.scratch.phi.
+func (e *Estimator) exactIncremental(plan *vhc.Plan, snap hypervisor.Snapshot, worth shapley.WorthFunc, dyn float64, n int, sp *obs.Span) error {
+	ts := &e.scratch
+	size := 1 << uint(n)
+	running := snap.Coalition
+	m := metrics()
+	if ts.valid && ts.plan == plan && ts.running == running && len(ts.table) == size {
+		// Incremental tick: re-evaluate only dirty-intersecting masks.
+		// Snapshots are pre-quantized by the hypervisor, so exact float
+		// comparison is the right dirty test (and NaN, impossible here,
+		// would fail toward re-evaluation anyway).
+		var dirty vm.Coalition
+		for mm := uint32(running); mm != 0; {
+			b := bits.TrailingZeros32(mm)
+			mm &^= 1 << uint(b)
+			if snap.States[b] != ts.prevStates[b] {
+				dirty |= 1 << uint(b)
+			}
+		}
+		if err := shapley.RetabulateParallelInto(ts.table, n, worth, dirty, e.cfg.Parallelism); err != nil {
+			return err
+		}
+		// The grand-equivalent entries (supersets of running) carry this
+		// tick's measured dynamic power regardless of dirtiness.
+		comp := vm.GrandCoalition(n) &^ running
+		for sub := comp; ; sub = (sub - 1) & comp {
+			ts.table[running|sub] = dyn
+			if sub == 0 {
+				break
+			}
+		}
+		m.notePlanTick(dirty.Size(), size-(size>>uint(dirty.Size())), size>>uint(dirty.Size()), false)
+	} else {
+		// Full tabulation: first tick, running-set change, or new plan.
+		if len(ts.table) != size {
+			ts.table = make([]float64, size)
+		}
+		if len(ts.phi) != n {
+			ts.phi = make([]float64, n)
+		}
+		if len(ts.partials) < shapley.ExactScratch(n) {
+			ts.partials = make([]float64, shapley.ExactScratch(n))
+		}
+		ts.valid = false
+		if err := shapley.TabulateParallelInto(ts.table, n, worth, e.cfg.Parallelism); err != nil {
+			return err
+		}
+		m.notePlanTick(running.Size(), size, 0, true)
+	}
+	sp.Mark("worth")
+	if err := shapley.ExactFromTableParallelInto(ts.phi, ts.partials, n, ts.table, e.cfg.Parallelism); err != nil {
+		return err
+	}
+	ts.prevStates = append(ts.prevStates[:0], snap.States...)
+	ts.running = running
+	ts.plan = plan
+	ts.valid = true
+	return nil
 }
 
 // Interactions computes the pairwise Shapley interaction index of the

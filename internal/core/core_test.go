@@ -609,7 +609,9 @@ func TestParallelismDeterministicAllocations(t *testing.T) {
 		cfg  Config
 	}{
 		{"exact", Config{Seed: 12}},
+		{"exact-legacy", Config{Seed: 12, DisableWorthPlan: true}},
 		{"montecarlo", Config{Seed: 12, ExactMaxPlayers: 2, MCPermutations: 96}},
+		{"montecarlo-legacy", Config{Seed: 12, ExactMaxPlayers: 2, MCPermutations: 96, DisableWorthPlan: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			estimate := func(parallelism int) []float64 {
@@ -641,13 +643,12 @@ func TestParallelismDeterministicAllocations(t *testing.T) {
 					}
 				}
 			}
-			// The serial default may differ from the sharded reduction
-			// only in the last ulps.
+			// Parallelism 1 runs the same shard decomposition on the
+			// calling goroutine, so even the serial default is bit-exact.
 			serial := estimate(1)
 			for i := range ref {
-				scale := math.Max(1, math.Abs(ref[i]))
-				if math.Abs(serial[i]-ref[i]) > 1e-9*scale {
-					t.Fatalf("serial PerVM[%d] = %g, parallel %g", i, serial[i], ref[i])
+				if serial[i] != ref[i] {
+					t.Fatalf("serial PerVM[%d] = %.17g, parallel %.17g", i, serial[i], ref[i])
 				}
 			}
 		})

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"vmpower/internal/obs"
+)
+
+// Metrics is the package's self-reporting surface: the compiled-plan
+// lifecycle and the incremental tabulation's cache behaviour. All handles
+// are nil-safe obs metrics, so an uninstrumented estimator pays one
+// atomic pointer load per tick and nothing else.
+type Metrics struct {
+	// PlanCompiles counts worth-plan compilations
+	// (vmpower_plan_compiles_total); PlanCompileErrors counts failed
+	// compiles, each of which pins the estimator to the legacy path until
+	// the model changes (vmpower_plan_compile_errors_total).
+	PlanCompiles      *obs.Counter
+	PlanCompileErrors *obs.Counter
+	// PlanTicks counts exact ticks served through the compiled plan;
+	// PlanFullTabulations counts the subset that could not reuse the
+	// previous tick's table (first tick, running-set change, new plan)
+	// (vmpower_plan_ticks_total, vmpower_plan_full_tabulations_total).
+	PlanTicks           *obs.Counter
+	PlanFullTabulations *obs.Counter
+	// PlanDirtyVMs is the dirty-set size of the last plan tick
+	// (vmpower_plan_dirty_vms).
+	PlanDirtyVMs *obs.Gauge
+	// PlanCoalitionsEvaluated / PlanCoalitionsReused count worth-table
+	// entries re-evaluated vs reused verbatim by the incremental
+	// recurrence (vmpower_plan_coalitions_{evaluated,reused}_total).
+	PlanCoalitionsEvaluated *obs.Counter
+	PlanCoalitionsReused    *obs.Counter
+}
+
+// pkgMetrics is swapped atomically so Instrument may run while ticks are
+// in flight (a daemon wires it once at startup; tests re-wire it).
+var pkgMetrics atomic.Pointer[Metrics]
+
+// Instrument registers the package's standard metrics on reg and
+// activates them for every subsequent tick. Instrument(nil) returns the
+// package to the uninstrumented (zero-overhead) state.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		pkgMetrics.Store(nil)
+		return
+	}
+	pkgMetrics.Store(&Metrics{
+		PlanCompiles: reg.Counter("vmpower_plan_compiles_total",
+			"compiled worth-plan builds (one per model epoch)"),
+		PlanCompileErrors: reg.Counter("vmpower_plan_compile_errors_total",
+			"worth-plan compiles that failed (estimator serves the legacy path)"),
+		PlanTicks: reg.Counter("vmpower_plan_ticks_total",
+			"exact estimation ticks served through the compiled plan"),
+		PlanFullTabulations: reg.Counter("vmpower_plan_full_tabulations_total",
+			"plan ticks that re-tabulated the whole 2^n worth table"),
+		PlanDirtyVMs: reg.Gauge("vmpower_plan_dirty_vms",
+			"VMs whose state changed since the previous tick (last plan tick)"),
+		PlanCoalitionsEvaluated: reg.Counter("vmpower_plan_coalitions_evaluated_total",
+			"worth-table entries (re-)evaluated by plan ticks"),
+		PlanCoalitionsReused: reg.Counter("vmpower_plan_coalitions_reused_total",
+			"worth-table entries reused verbatim across ticks"),
+	})
+}
+
+// metrics returns the active instrumentation, nil when uninstrumented.
+func metrics() *Metrics { return pkgMetrics.Load() }
+
+func (m *Metrics) notePlanCompile() {
+	if m == nil {
+		return
+	}
+	m.PlanCompiles.Inc()
+}
+
+func (m *Metrics) notePlanCompileError() {
+	if m == nil {
+		return
+	}
+	m.PlanCompileErrors.Inc()
+}
+
+// notePlanTick publishes one plan-served exact tick's cache behaviour.
+func (m *Metrics) notePlanTick(dirty, evaluated, reused int, full bool) {
+	if m == nil {
+		return
+	}
+	m.PlanTicks.Inc()
+	if full {
+		m.PlanFullTabulations.Inc()
+	}
+	m.PlanDirtyVMs.Set(float64(dirty))
+	m.PlanCoalitionsEvaluated.Add(uint64(evaluated))
+	m.PlanCoalitionsReused.Add(uint64(reused))
+}

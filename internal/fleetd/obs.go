@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"vmpower/internal/core"
 	"vmpower/internal/fleet"
 	"vmpower/internal/obs"
 	"vmpower/internal/shapley"
@@ -56,8 +57,9 @@ type httpMetrics struct {
 }
 
 // Instrument activates metrics and structured logging for the fleet
-// daemon, and instruments the shapley package on the same registry so
-// one scrape covers every host's solver. Call it before Handler so
+// daemon, and instruments the shapley and core packages on the same
+// registry so one scrape covers every host's solver and worth-plan
+// cache. Call it before Handler so
 // /metrics and /metrics.json are mounted. interval is the expected Step
 // cadence (the /healthz stall threshold is 3x it); <= 0 defaults to
 // 1 s. Instrument(nil, ...) deactivates everything.
@@ -65,6 +67,7 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 	if reg == nil {
 		s.telemetry.Store(nil)
 		shapley.Instrument(nil)
+		core.Instrument(nil)
 		return
 	}
 	if interval <= 0 {
@@ -121,6 +124,7 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 		}
 	}
 	shapley.Instrument(reg)
+	core.Instrument(reg)
 	s.telemetry.Store(o)
 }
 

@@ -58,8 +58,9 @@ type httpMetrics struct {
 }
 
 // Instrument activates metrics, tracing and structured logging for the
-// daemon, and instruments the shapley and serial packages on the same
-// registry so one scrape covers the whole pipeline. Call it before
+// daemon, and instruments the shapley, serial and core packages on the
+// same registry so one scrape covers the whole pipeline (including the
+// compiled worth plan's cache behaviour). Call it before
 // Handler so /metrics and /metrics.json are mounted. interval is the
 // expected Step cadence (the /healthz stall threshold is 3x it); <= 0
 // defaults to 1 s. Instrument(nil, ...) deactivates everything.
@@ -68,6 +69,7 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 		s.telemetry.Store(nil)
 		shapley.Instrument(nil)
 		serial.Instrument(nil)
+		core.Instrument(nil)
 		return
 	}
 	if interval <= 0 {
@@ -112,6 +114,7 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 	}
 	shapley.Instrument(reg)
 	serial.Instrument(reg)
+	core.Instrument(reg)
 	s.telemetry.Store(o)
 }
 

@@ -100,23 +100,97 @@ func TabulateParallel(n int, worth WorthFunc, parallelism int) ([]float64, error
 	if n < 1 || n > ExactMaxPlayers {
 		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
 	}
+	table := make([]float64, 1<<uint(n))
+	if err := TabulateParallelInto(table, n, worth, parallelism); err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// TabulateParallelInto is TabulateParallel into a caller-owned table of
+// length exactly 2^n.
+func TabulateParallelInto(table []float64, n int, worth WorthFunc, parallelism int) error {
+	if n < 1 || n > ExactMaxPlayers {
+		return fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
 	if worth == nil {
-		return nil, ErrNilWorth
+		return ErrNilWorth
+	}
+	if len(table) != 1<<uint(n) {
+		return fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
 	}
 	m := metrics()
 	start := m.startTimer()
-	table := make([]float64, 1<<uint(n))
 	shards := exactShards(n)
 	per := len(table) / shards
-	runSharded(shards, parallelism, func(shard int) {
-		lo := shard * per
-		hi := lo + per
-		for s := lo; s < hi; s++ {
+	if resolveParallelism(parallelism) > 1 && shards > 1 {
+		runSharded(shards, parallelism, func(shard int) {
+			lo := shard * per
+			hi := lo + per
+			for s := lo; s < hi; s++ {
+				table[s] = worth(vm.Coalition(s))
+			}
+		})
+	} else {
+		// Same writes in the same per-entry order, without the closure
+		// allocation the sharded dispatch would cost a serial caller.
+		for s := range table {
 			table[s] = worth(vm.Coalition(s))
 		}
-	})
+	}
 	m.observeTabulate(start)
-	return table, nil
+	return nil
+}
+
+// RetabulateParallelInto re-evaluates only the table entries whose
+// coalition intersects dirty, leaving every other entry untouched — the
+// incremental cross-tick form of TabulateParallelInto. When table was
+// produced by a (Re)Tabulate call against a pure worth function and only
+// the states of the VMs in dirty changed since, the result is bit-for-bit
+// identical to a full retabulation: an entry not intersecting dirty
+// depends only on unchanged member states, so its cached value is exactly
+// what worth would return. Callers whose worth carries cross-coalition
+// state (e.g. the measured grand-coalition override) must fold the
+// affected masks into dirty or rewrite those entries themselves.
+//
+// dirty == 0 is a no-op; the shard layout matches TabulateParallelInto,
+// so the result is identical at any parallelism.
+func RetabulateParallelInto(table []float64, n int, worth WorthFunc, dirty vm.Coalition, parallelism int) error {
+	if n < 1 || n > ExactMaxPlayers {
+		return fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	if worth == nil {
+		return ErrNilWorth
+	}
+	if len(table) != 1<<uint(n) {
+		return fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
+	}
+	if dirty == 0 {
+		return nil
+	}
+	m := metrics()
+	start := m.startTimer()
+	shards := exactShards(n)
+	per := len(table) / shards
+	if resolveParallelism(parallelism) > 1 && shards > 1 {
+		runSharded(shards, parallelism, func(shard int) {
+			lo := shard * per
+			hi := lo + per
+			for s := lo; s < hi; s++ {
+				if vm.Coalition(s)&dirty != 0 {
+					table[s] = worth(vm.Coalition(s))
+				}
+			}
+		})
+	} else {
+		for s := range table {
+			if vm.Coalition(s)&dirty != 0 {
+				table[s] = worth(vm.Coalition(s))
+			}
+		}
+	}
+	m.observeTabulate(start)
+	return nil
 }
 
 // ExactFromTableParallel computes the exact Shapley value from a
@@ -131,35 +205,67 @@ func ExactFromTableParallel(n int, table []float64, parallelism int) ([]float64,
 	if n < 1 || n > ExactMaxPlayers {
 		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
 	}
-	if len(table) != 1<<uint(n) {
-		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
-	}
-	w, err := Weights(n)
-	if err != nil {
+	phi := make([]float64, n)
+	scratch := make([]float64, ExactScratch(n))
+	if err := ExactFromTableParallelInto(phi, scratch, n, table, parallelism); err != nil {
 		return nil, err
+	}
+	return phi, nil
+}
+
+// ExactScratch returns the scratch length (shard partials) that
+// ExactFromTableParallelInto needs for an n-player game.
+func ExactScratch(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return exactShards(n) * n
+}
+
+// ExactFromTableParallelInto is ExactFromTableParallel into caller-owned
+// buffers: phi of length exactly n and scratch of at least ExactScratch(n)
+// (both zeroed here, so they can be reused across solves as-is). The
+// shard layout and merge order are those of ExactFromTableParallel, so
+// the output is bit-for-bit identical to it at every parallelism.
+func ExactFromTableParallelInto(phi, scratch []float64, n int, table []float64, parallelism int) error {
+	if n < 1 || n > ExactMaxPlayers {
+		return fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	if len(table) != 1<<uint(n) {
+		return fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
+	}
+	if len(phi) != n {
+		return fmt.Errorf("shapley: phi has %d entries, want %d", len(phi), n)
+	}
+	if len(scratch) < ExactScratch(n) {
+		return fmt.Errorf("shapley: scratch has %d entries, want >= %d", len(scratch), ExactScratch(n))
+	}
+	w, err := weightsShared(n)
+	if err != nil {
+		return err
 	}
 	m := metrics()
 	start := m.startTimer()
 	shards := exactShards(n)
 	per := len(table) / shards
-	partials := make([]float64, shards*n)
-	runSharded(shards, parallelism, func(shard int) {
-		phi := partials[shard*n : (shard+1)*n]
-		lo := vm.Coalition(shard * per)
-		hi := lo + vm.Coalition(per)
-		for s := lo; s < hi; s++ {
-			vs := table[s]
-			size := s.Size()
-			for i := 0; i < n; i++ {
-				id := vm.ID(i)
-				if s.Contains(id) {
-					continue
-				}
-				phi[i] += w[size] * (table[s.With(id)] - vs)
-			}
+	partials := scratch[:shards*n]
+	for i := range partials {
+		partials[i] = 0
+	}
+	if resolveParallelism(parallelism) > 1 && shards > 1 {
+		runSharded(shards, parallelism, func(shard int) {
+			accumulateShard(partials, w, table, n, shard, per)
+		})
+	} else {
+		// Identical shard decomposition executed on the calling
+		// goroutine, so serial and parallel results share every bit.
+		for shard := 0; shard < shards; shard++ {
+			accumulateShard(partials, w, table, n, shard, per)
 		}
-	})
-	phi := make([]float64, n)
+	}
+	for i := range phi {
+		phi[i] = 0
+	}
 	for shard := 0; shard < shards; shard++ {
 		part := partials[shard*n : (shard+1)*n]
 		for i := 0; i < n; i++ {
@@ -167,7 +273,26 @@ func ExactFromTableParallel(n int, table []float64, parallelism int) ([]float64,
 		}
 	}
 	m.observeAccumulate(start)
-	return phi, nil
+	return nil
+}
+
+// accumulateShard folds one contiguous mask shard's weighted marginal
+// contributions into its private partial vector, in ascending mask order.
+func accumulateShard(partials, w, table []float64, n, shard, per int) {
+	phi := partials[shard*n : (shard+1)*n]
+	lo := vm.Coalition(shard * per)
+	hi := lo + vm.Coalition(per)
+	for s := lo; s < hi; s++ {
+		vs := table[s]
+		size := s.Size()
+		for i := 0; i < n; i++ {
+			id := vm.ID(i)
+			if s.Contains(id) {
+				continue
+			}
+			phi[i] += w[size] * (table[s.With(id)] - vs)
+		}
+	}
 }
 
 // ExactParallel computes the exact Shapley value (Eq. 4) with up to

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"vmpower/internal/vm"
 )
@@ -34,13 +35,22 @@ var (
 // ExactMaxPlayers caps Exact's 2^n enumeration. Beyond this use MonteCarlo.
 const ExactMaxPlayers = vm.MaxPlayers
 
-// Weights returns the Shapley coalition weights for an n-player game:
-// Weights(n)[s] is the weight of a coalition of size s not containing the
-// player, i.e. s!(n-s-1)!/n! — equivalently 1/((n-s)·C(n,s)) as written in
-// the paper's Eq. 4.
-func Weights(n int) ([]float64, error) {
+// weightsMemo caches the weight vector per player count. An entry is
+// computed once, published with an atomic store and never mutated again,
+// so the solvers can share the cached slice directly with no lock on the
+// per-solve path (previously every ExactFromTable recomputed the O(n²)
+// vector). A racing first computation at the same n publishes identical
+// contents, so last-write-wins is harmless.
+var weightsMemo [ExactMaxPlayers + 1]atomic.Pointer[[]float64]
+
+// weightsShared returns the memoized weight vector. Callers must treat
+// the slice as read-only; exported paths hand out copies (see Weights).
+func weightsShared(n int) ([]float64, error) {
 	if n < 1 || n > ExactMaxPlayers {
 		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	if p := weightsMemo[n].Load(); p != nil {
+		return *p, nil
 	}
 	w := make([]float64, n)
 	for s := 0; s < n; s++ {
@@ -52,7 +62,21 @@ func Weights(n int) ([]float64, error) {
 		}
 		w[s] = 1 / (float64(n) * c)
 	}
+	weightsMemo[n].Store(&w)
 	return w, nil
+}
+
+// Weights returns the Shapley coalition weights for an n-player game:
+// Weights(n)[s] is the weight of a coalition of size s not containing the
+// player, i.e. s!(n-s-1)!/n! — equivalently 1/((n-s)·C(n,s)) as written in
+// the paper's Eq. 4. The vector is memoized per n; the returned slice is
+// a private copy the caller may mutate.
+func Weights(n int) ([]float64, error) {
+	w, err := weightsShared(n)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), w...), nil
 }
 
 // Exact computes the exact Shapley value Φ (Eq. 4) of an n-player game by
@@ -73,17 +97,33 @@ func Tabulate(n int, worth WorthFunc) ([]float64, error) {
 	if n < 1 || n > ExactMaxPlayers {
 		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
 	}
+	table := make([]float64, 1<<uint(n))
+	if err := TabulateInto(table, n, worth); err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// TabulateInto is Tabulate into a caller-owned table, which must have
+// length exactly 2^n — the buffer-reuse form for per-tick callers that
+// keep the table across solves.
+func TabulateInto(table []float64, n int, worth WorthFunc) error {
+	if n < 1 || n > ExactMaxPlayers {
+		return fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
 	if worth == nil {
-		return nil, ErrNilWorth
+		return ErrNilWorth
+	}
+	if len(table) != 1<<uint(n) {
+		return fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
 	}
 	m := metrics()
 	start := m.startTimer()
-	table := make([]float64, 1<<uint(n))
 	for s := range table {
 		table[s] = worth(vm.Coalition(s))
 	}
 	m.observeTabulate(start)
-	return table, nil
+	return nil
 }
 
 // ExactFromTable computes the exact Shapley value from a pre-tabulated
@@ -92,16 +132,34 @@ func ExactFromTable(n int, table []float64) ([]float64, error) {
 	if n < 1 || n > ExactMaxPlayers {
 		return nil, fmt.Errorf("%w: n=%d", ErrPlayers, n)
 	}
-	if len(table) != 1<<uint(n) {
-		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
-	}
-	w, err := Weights(n)
-	if err != nil {
+	phi := make([]float64, n)
+	if err := ExactFromTableInto(phi, n, table); err != nil {
 		return nil, err
+	}
+	return phi, nil
+}
+
+// ExactFromTableInto is ExactFromTable into a caller-owned phi of length
+// exactly n (zeroed here, so it can be reused across solves as-is).
+func ExactFromTableInto(phi []float64, n int, table []float64) error {
+	if n < 1 || n > ExactMaxPlayers {
+		return fmt.Errorf("%w: n=%d", ErrPlayers, n)
+	}
+	if len(table) != 1<<uint(n) {
+		return fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
+	}
+	if len(phi) != n {
+		return fmt.Errorf("shapley: phi has %d entries, want %d", len(phi), n)
+	}
+	w, err := weightsShared(n)
+	if err != nil {
+		return err
 	}
 	m := metrics()
 	start := m.startTimer()
-	phi := make([]float64, n)
+	for i := range phi {
+		phi[i] = 0
+	}
 	total := vm.Coalition(1) << uint(n)
 	for s := vm.Coalition(0); s < total; s++ {
 		vs := table[s]
@@ -115,7 +173,7 @@ func ExactFromTable(n int, table []float64) ([]float64, error) {
 		}
 	}
 	m.observeAccumulate(start)
-	return phi, nil
+	return nil
 }
 
 // NonDeterministic computes the non-deterministic Shapley value (Eq. 7):

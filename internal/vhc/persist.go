@@ -101,9 +101,10 @@ func (a *Approximator) Import(r io.Reader) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.epoch++
 	a.weights = weights
 	a.diags = diags
 	a.samples = make(map[ComboMask][]Sample)
-	a.table = make(map[ComboMask]map[string]*tableEntry)
+	a.table = make(map[ComboMask]map[tableKey]*tableEntry)
 	return nil
 }

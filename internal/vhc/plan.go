@@ -1,0 +1,174 @@
+package vhc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"vmpower/internal/vm"
+)
+
+// This file implements the compiled worth plan: an immutable, lock-free
+// snapshot of everything the online estimation hot path needs to evaluate
+// v(S, C) — per-VM class bits, the fitted mapping vectors and the
+// exact-match v(S,C) table with its means precomputed — so a tick's 2^n
+// worth evaluations become allocation-free array gathers and dot products
+// on stack scratch, instead of the legacy path's per-coalition combo map,
+// feature slice and RWMutex-guarded table lookup.
+//
+// The online contract already guarantees the model is fixed between
+// retrainings; a Plan makes that explicit. Compile one per epoch
+// (Approximator.Epoch changes on every mutation) and share it freely: a
+// Plan is never mutated after NewPlan returns, so Eval is safe for
+// concurrent use from any number of goroutines with zero synchronisation.
+
+// ErrPlan marks plan compilation failures.
+var ErrPlan = errors.New("vhc: cannot compile worth plan")
+
+// Plan is a compiled, immutable evaluation plan for v(S, C) over a fixed
+// VM set, class map and trained model snapshot.
+type Plan struct {
+	n          int     // VMs in the set
+	resolution float64 // table lattice resolution (<= 0: no table)
+	epoch      uint64  // Approximator.Epoch at compile time
+
+	// classBit[i] is 1 << class(type(vm i)): ORing the members' bits
+	// yields the coalition's ComboMask, and popcounting the bits below a
+	// member's own bit yields its class's rank — i.e. its feature-slot
+	// base — inside the combo's feature vector.
+	classBit []ComboMask
+
+	// weights[combo] is the fitted mapping vector (nil if untrained);
+	// table[combo] maps lattice keys to precomputed entry means (nil if
+	// the combo has no exact-match entries). Both indexed by ComboMask.
+	weights [][]float64
+	table   []map[tableKey]float64
+}
+
+// NewPlan compiles a plan from the set's catalog layout, the class map
+// and the approximator's current trained state. The snapshot is taken
+// under the approximator's read lock; later mutations (AddSample, Train,
+// Import) do not affect the plan but advance the epoch, which holders
+// should watch to recompile (see Epoch).
+func NewPlan(set *vm.Set, classes *ClassMap, a *Approximator) (*Plan, error) {
+	if set == nil || classes == nil || a == nil {
+		return nil, fmt.Errorf("%w: nil set, classes or approximator", ErrPlan)
+	}
+	if err := classes.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPlan, err)
+	}
+	if classes.Classes != a.numTypes {
+		return nil, fmt.Errorf("%w: class map has %d classes, approximator %d",
+			ErrPlan, classes.Classes, a.numTypes)
+	}
+	n := set.Len()
+	p := &Plan{
+		n:        n,
+		classBit: make([]ComboMask, n),
+	}
+	for i := 0; i < n; i++ {
+		v, err := set.VM(vm.ID(i))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPlan, err)
+		}
+		if int(v.Type) >= len(classes.ByType) {
+			return nil, fmt.Errorf("%w: type %d not covered by class map", ErrPlan, v.Type)
+		}
+		p.classBit[i] = 1 << uint(classes.ByType[v.Type])
+	}
+
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	p.resolution = a.resolution
+	p.epoch = a.epoch
+	combos := 1 << uint(a.numTypes)
+	p.weights = make([][]float64, combos)
+	p.table = make([]map[tableKey]float64, combos)
+	for combo, w := range a.weights {
+		p.weights[combo] = append([]float64(nil), w...)
+	}
+	for combo, entries := range a.table {
+		if len(entries) == 0 {
+			continue
+		}
+		means := make(map[tableKey]float64, len(entries))
+		for k, e := range entries {
+			means[k] = e.mean()
+		}
+		p.table[combo] = means
+	}
+	return p, nil
+}
+
+// NumVMs returns the VM-set size the plan was compiled for.
+func (p *Plan) NumVMs() int { return p.n }
+
+// Epoch returns the Approximator.Epoch the plan snapshot was taken at.
+func (p *Plan) Epoch() uint64 { return p.epoch }
+
+// Eval returns v(S, C): the exact-match table mean if the coalition's
+// quantized aggregated state was measured offline, otherwise the linear
+// approximation Σ_j w_j·v_j clamped at zero. The empty coalition is 0.
+//
+// It is the allocation-free equivalent of ClassedFeaturesFor followed by
+// Approximator.Estimate, and matches them bit for bit: member states are
+// accumulated into each class slot in ascending VM-ID order (the same
+// addition order as the legacy aggregation) and the dot product runs the
+// same ascending loop as linalg.Vector.Dot.
+//
+// states is indexed by vm.ID and must cover the plan's VM set; entries of
+// non-members are ignored. The caller is responsible for masking out
+// stopped VMs (dummies) before calling, exactly as with the legacy path.
+func (p *Plan) Eval(s vm.Coalition, states []vm.State) (float64, error) {
+	const k = int(vm.NumComponents)
+	if len(states) < p.n {
+		return 0, fmt.Errorf("vhc: %d states for %d planned VMs", len(states), p.n)
+	}
+	var combo ComboMask
+	for m := uint32(s); m != 0; {
+		b := bits.TrailingZeros32(m)
+		m &^= 1 << uint(b)
+		if b >= len(p.classBit) {
+			return 0, fmt.Errorf("vhc: plan compiled for %d VMs, coalition has member %d", p.n, b)
+		}
+		combo |= p.classBit[b]
+	}
+	if combo == 0 {
+		return 0, nil
+	}
+	var feat [maxFeatureLen]float64
+	for m := uint32(s); m != 0; {
+		b := bits.TrailingZeros32(m)
+		m &^= 1 << uint(b)
+		cb := p.classBit[b]
+		base := bits.OnesCount16(uint16(combo&(cb-1))) * k
+		st := &states[b]
+		for c := 0; c < k; c++ {
+			feat[base+c] += st[c]
+		}
+	}
+	flen := combo.Size() * k
+	if p.resolution > 0 {
+		if t := p.table[combo]; t != nil {
+			var key tableKey
+			for i := 0; i < flen; i++ {
+				key[i] = latticeCoord(feat[i], p.resolution)
+			}
+			if v, ok := t[key]; ok {
+				return v, nil
+			}
+		}
+	}
+	w := p.weights[combo]
+	if w == nil {
+		return 0, fmt.Errorf("%w: %s", ErrUntrained, combo)
+	}
+	var dot float64
+	for i, x := range w {
+		dot += x * feat[i]
+	}
+	if dot < 0 {
+		dot = 0
+	}
+	return dot, nil
+}

@@ -154,8 +154,9 @@ type Approximator struct {
 	ridge      float64
 
 	mu      sync.RWMutex
+	epoch   uint64
 	samples map[ComboMask][]Sample
-	table   map[ComboMask]map[string]*tableEntry
+	table   map[ComboMask]map[tableKey]*tableEntry
 	weights map[ComboMask]linalg.Vector
 	diags   map[ComboMask]Diagnostics
 }
@@ -187,6 +188,33 @@ type tableEntry struct {
 
 func (e *tableEntry) mean() float64 { return e.sum / float64(e.count) }
 
+// maxFeatureLen is the widest possible feature vector: every one of the
+// MaxTypes classes present, k components each.
+const maxFeatureLen = MaxTypes * int(vm.NumComponents)
+
+// tableKey is the quantized numeric form of a feature vector: one lattice
+// coordinate round(f/resolution) per feature slot, zero beyond the combo's
+// feature length (per-combo tables have a fixed feature length, so the
+// padding is unambiguous). It replaces the old strconv-formatted string
+// keys: a comparable fixed-size array is buildable with zero allocations
+// on the estimation hot path and hashes without string interning. Only
+// meaningful when resolution > 0 — the table is disabled otherwise.
+type tableKey [maxFeatureLen]int64
+
+// latticeCoord quantizes one feature onto the resolution lattice. The
+// saturation guards keep pathological resolutions (f/res beyond the int64
+// range) from hitting implementation-defined float→int conversions.
+func latticeCoord(f, res float64) int64 {
+	q := math.Round(f / res)
+	if q >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if q <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(q)
+}
+
 // New builds an Approximator over numTypes VM types.
 func New(numTypes int, opts Options) (*Approximator, error) {
 	if numTypes < 1 || numTypes > MaxTypes {
@@ -201,10 +229,19 @@ func New(numTypes int, opts Options) (*Approximator, error) {
 		resolution: opts.Resolution,
 		ridge:      ridge,
 		samples:    make(map[ComboMask][]Sample),
-		table:      make(map[ComboMask]map[string]*tableEntry),
+		table:      make(map[ComboMask]map[tableKey]*tableEntry),
 		weights:    make(map[ComboMask]linalg.Vector),
 		diags:      make(map[ComboMask]Diagnostics),
 	}, nil
+}
+
+// Epoch returns a counter that advances on every mutation (AddSample,
+// Train, Import). A compiled Plan snapshots the epoch it was built from;
+// a mismatch tells the holder the plan is stale and must be recompiled.
+func (a *Approximator) Epoch() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.epoch
 }
 
 // NumTypes returns r, the VM type count.
@@ -217,19 +254,14 @@ func (a *Approximator) featureLen(combo ComboMask) int {
 	return combo.Size() * int(vm.NumComponents)
 }
 
-func (a *Approximator) key(features []float64) string {
-	var sb strings.Builder
+// key quantizes a feature vector onto the resolution lattice. Callers
+// guard on resolution > 0 (the table is disabled otherwise).
+func (a *Approximator) key(features []float64) tableKey {
+	var k tableKey
 	for i, f := range features {
-		if i > 0 {
-			sb.WriteByte('|')
-		}
-		q := f
-		if a.resolution > 0 {
-			q = math.Round(f/a.resolution) * a.resolution
-		}
-		sb.WriteString(strconv.FormatFloat(q, 'f', 6, 64))
+		k[i] = latticeCoord(f, a.resolution)
 	}
-	return sb.String()
+	return k
 }
 
 // AddSample records one offline measurement for a combo.
@@ -243,12 +275,13 @@ func (a *Approximator) AddSample(combo ComboMask, features []float64, power floa
 	f := append([]float64(nil), features...)
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.epoch++
 	a.samples[combo] = append(a.samples[combo], Sample{Features: f, Power: power})
 	if a.resolution > 0 {
 		k := a.key(f)
 		entries, ok := a.table[combo]
 		if !ok {
-			entries = make(map[string]*tableEntry)
+			entries = make(map[tableKey]*tableEntry)
 			a.table[combo] = entries
 		}
 		e, ok := entries[k]
@@ -275,6 +308,7 @@ func (a *Approximator) SampleCount(combo ComboMask) int {
 func (a *Approximator) Train() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.epoch++
 	var failures []string
 	for combo, samples := range a.samples {
 		if err := a.trainComboLocked(combo, samples); err != nil {
