@@ -459,6 +459,115 @@ func BenchmarkEstimateTick(b *testing.B) {
 			}
 		}
 	}
+
+	// Symmetry-collapsed arms: n VMs in r symmetry classes on the dense
+	// 256-thread profile — sizes where 2^n coalition masks cannot exist.
+	// Members of a class share one workload generator, so their quantized
+	// states stay bit-equal and the tick solves over ∏(c_j+1) type-count
+	// vectors. steady reuses the previous tick's collapsed table; alldirty
+	// re-evaluates it in full every tick.
+	symCounts := func(n, r int) []int {
+		// Skewed class sizes: one dominant class plus small satellites,
+		// the shape real fleets collapse into (many identical smalls, a
+		// few bespoke VMs).
+		switch r {
+		case 3:
+			return []int{n - 4, 2, 2}
+		case 6:
+			return []int{n - 10, 3, 3, 2, 1, 1}
+		default:
+			b.Fatalf("no class split for r=%d", r)
+			return nil
+		}
+	}
+	runSym := func(b *testing.B, n, r int, steady bool) {
+		counts := symCounts(n, r)
+		mach, err := machine.New(machine.DenseProfile(), machine.Pack)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vms := make([]vm.VM, n)
+		for i := range vms {
+			vms[i] = vm.VM{Name: fmt.Sprintf("vm%03d", i), Type: 0}
+		}
+		set, err := vm.NewSet(vm.PaperCatalog(), vms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		host, err := hypervisor.NewHost(mach, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := meter.Perfect(host.PowerSource())
+		if err != nil {
+			b.Fatal(err)
+		}
+		est, err := core.New(host, m, core.Config{
+			Seed:                 1,
+			OfflineTicksPerCombo: 20,
+			IdleMeasureTicks:     2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := est.CollectOffline(); err != nil {
+			b.Fatal(err)
+		}
+		// One generator per class, shared by its members (ID-contiguous).
+		gens := make([]workload.Generator, r)
+		for j := range gens {
+			if steady {
+				gens[j] = workload.Constant("steady", vm.State{
+					vm.CPU:    0.2 + 0.1*float64(j),
+					vm.Memory: 0.05 * float64(j+1),
+					vm.DiskIO: 0.02 * float64(j),
+				})
+			} else {
+				gens[j] = workload.Synthetic{Seed: int64(j + 1)}
+			}
+		}
+		id := 0
+		for j, c := range counts {
+			for i := 0; i < c; i++ {
+				if err := host.Attach(vm.ID(id), gens[j]); err != nil {
+					b.Fatal(err)
+				}
+				id++
+			}
+		}
+		running := make([]bool, n)
+		for i := range running {
+			running[i] = true
+		}
+		if err := host.SetRunning(running); err != nil {
+			b.Fatal(err)
+		}
+		host.Advance(1)
+		alloc, err := est.EstimateTick() // warm-up: first tick tabulates in full
+		if err != nil {
+			b.Fatal(err)
+		}
+		if alloc.SymmetryClasses == 0 {
+			b.Fatal("tick did not take the symmetry-collapsed path")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			host.Advance(1)
+			if _, err := est.EstimateTick(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, n := range []int{64, 200} {
+		for _, r := range []int{3, 6} {
+			for _, regime := range []string{"steady", "alldirty"} {
+				b.Run(fmt.Sprintf("sym/n=%d/r=%d/%s", n, r, regime), func(b *testing.B) {
+					runSym(b, n, r, regime == "steady")
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkCalibration measures the full offline collection phase for the

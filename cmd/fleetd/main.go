@@ -109,6 +109,7 @@ func run() error {
 		MeterNoise:           *noise,
 		CalibrationTicks:     *calib,
 		Parallelism:          parallelism,
+		TickInterval:         *interval,
 		QuarantineProbeTicks: *probe,
 		HoldoverTicks:        *holdover,
 		StuckThreshold:       *stuckAt,

@@ -181,6 +181,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Energy integrates watts over the actual stepping cadence, not an
+	// assumed 1 Hz.
+	if err := srv.SetInterval(*interval); err != nil {
+		return err
+	}
 	reg := obs.NewRegistry()
 	srv.Instrument(reg, logger, *interval)
 

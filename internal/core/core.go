@@ -108,8 +108,11 @@ type Config struct {
 	// sampler.
 	Seed int64
 	// ExactMaxPlayers is the largest VM count estimated with exact 2^n
-	// Shapley; larger sets use Monte-Carlo sampling. Default 16 (the
-	// paper's practical bound).
+	// mask enumeration; larger sets use Monte-Carlo sampling — unless
+	// their players collapse into symmetry classes, in which case the
+	// collapsed solver keeps the tick exact at any size (DESIGN.md §12).
+	// Default 16 (the paper's practical bound). It also sizes the
+	// collapsed path's vector budget on mid-size hosts; see symWorthwhile.
 	ExactMaxPlayers int
 	// MCPermutations is the Monte-Carlo sample count beyond
 	// ExactMaxPlayers. Default shapley.DefaultPermutations.
@@ -169,8 +172,17 @@ type Config struct {
 	// legacy per-coalition evaluation path (ClassedFeaturesFor +
 	// Approximator.Estimate, full tabulation every tick). The two paths
 	// produce bit-for-bit identical allocations; the flag exists for
-	// benchmarking the win and as an escape hatch.
+	// benchmarking the win and as an escape hatch. It also disables the
+	// symmetry-collapsed solver (which runs over the compiled plan), so
+	// sets past vm.MaxPlayers cannot be estimated with it set.
 	DisableWorthPlan bool
+	// DisableSymmetry turns off the symmetry-collapsed exact solver,
+	// forcing every plan-served exact tick through 2^n mask enumeration
+	// (or Monte-Carlo past ExactMaxPlayers). The escape hatch exists for
+	// benchmarking and for pinning the equivalence in tests; sets past
+	// vm.MaxPlayers cannot be estimated with it set, since no mask
+	// fallback exists there.
+	DisableSymmetry bool
 }
 
 func (c Config) withDefaults() Config {
@@ -208,7 +220,9 @@ func (c Config) withDefaults() Config {
 type Allocation struct {
 	// Tick is the host clock when the states were collected.
 	Tick int
-	// Coalition is the running VM set.
+	// Coalition is the running VM set. On wide hosts (more than
+	// vm.MaxPlayers VMs) no mask can represent the set and this is zero;
+	// running VMs are the ones with non-dummy PerVM entries.
 	Coalition vm.Coalition
 	// MeasuredPower is the meter reading (total wall power, W).
 	MeasuredPower float64
@@ -224,6 +238,10 @@ type Allocation struct {
 	// Method records how the Shapley value was computed ("exact",
 	// "montecarlo" or "fallback" for a degraded-mode split).
 	Method string
+	// SymmetryClasses is the number of symmetry classes the tick's exact
+	// solve collapsed the running VMs into, 0 when the collapsed solver
+	// was not used (mask path, Monte-Carlo, fallback).
+	SymmetryClasses int
 	// Degraded marks an allocation produced under fault handling: the
 	// measured power is a held-over stale sample, or the shares came from
 	// the fallback policy rather than the Shapley solver. Degraded
@@ -280,6 +298,7 @@ type Estimator struct {
 	planEpoch uint64
 	planTried bool
 	scratch   tickScratch
+	sym       symScratch
 }
 
 // tickScratch is the buffer set the plan-based exact path reuses across
@@ -520,17 +539,23 @@ func (e *Estimator) CollectOffline() error {
 		}
 	}
 
-	// Traverse the 2^r − 1 non-empty VHC (class) combinations.
+	// Traverse the 2^r − 1 non-empty VHC (class) combinations. The
+	// traversal runs over per-VM running flags rather than coalition
+	// masks, so it works identically on hosts past the mask limit; the
+	// flag and mask forms aggregate in the same ascending-ID order and
+	// produce bit-for-bit identical samples on sets both can represent.
 	numCombos := vhc.ComboMask(1) << uint(e.approx.NumTypes())
 	for combo := vhc.ComboMask(1); combo < numCombos; combo++ {
-		mask, err := e.coalitionForCombo(set, combo)
+		running, any, err := e.runningForCombo(set, combo)
 		if err != nil {
 			return err
 		}
-		if mask.IsEmpty() {
+		if !any {
 			continue // no VM of these classes on this host
 		}
-		e.host.SetCoalition(mask)
+		if err := e.host.SetRunning(running); err != nil {
+			return err
+		}
 		for t := 0; t < e.cfg.OfflineTicksPerCombo; t++ {
 			e.host.Advance(1)
 			snap := e.host.Collect()
@@ -543,7 +568,7 @@ func (e *Estimator) CollectOffline() error {
 			if dyn < 0 {
 				dyn = 0
 			}
-			got, features, err := vhc.ClassedFeaturesFor(set, snap.Coalition, snap.States, e.classes)
+			got, features, err := vhc.ClassedFeaturesRunning(set, snap.Running, snap.States, e.classes)
 			if err != nil {
 				return err
 			}
@@ -561,20 +586,23 @@ func (e *Estimator) CollectOffline() error {
 	return nil
 }
 
-// coalitionForCombo returns all VMs whose class belongs to the combo.
-func (e *Estimator) coalitionForCombo(set *vm.Set, combo vhc.ComboMask) (vm.Coalition, error) {
-	var mask vm.Coalition
+// runningForCombo returns the running-flag vector selecting all VMs whose
+// class belongs to the combo, plus whether any VM was selected.
+func (e *Estimator) runningForCombo(set *vm.Set, combo vhc.ComboMask) ([]bool, bool, error) {
+	running := make([]bool, set.Len())
+	any := false
 	for i := 0; i < set.Len(); i++ {
 		v, err := set.VM(vm.ID(i))
 		if err != nil {
-			return 0, err
+			return nil, false, err
 		}
 		class := vm.TypeID(e.classes.ByType[v.Type])
 		if combo.Contains(class) {
-			mask = mask.With(vm.ID(i))
+			running[i] = true
+			any = true
 		}
 	}
-	return mask, nil
+	return running, any, nil
 }
 
 // ErrUntrained is returned by online estimation before CollectOffline.
@@ -699,38 +727,38 @@ func (e *Estimator) fallbackAllocation(snap hypervisor.Snapshot, measuredTotal f
 		Degraded:       true,
 		DegradedReason: fmt.Sprintf("fallback(%s): %v", e.cfg.Fallback, cause),
 	}
-	members := snap.Coalition.Members()
+	members := e.runningMembers(snap)
 	if len(members) == 0 {
-		return e.attributeIdle(alloc), nil
+		return e.attributeIdle(alloc, members), nil
 	}
 	weights := make([]float64, n)
 	var total float64
 	if e.cfg.Fallback == FallbackHold && e.lastShares != nil {
-		for _, id := range members {
-			w := math.Max(e.lastShares[int(id)], 0)
-			weights[int(id)] = w
+		for _, i := range members {
+			w := math.Max(e.lastShares[i], 0)
+			weights[i] = w
 			total += w
 		}
 	}
 	if total <= 0 {
 		// Usage-proportional split (also FallbackHold's bootstrap).
-		for _, id := range members {
-			w := snap.States[int(id)][vm.CPU]
-			weights[int(id)] = w
+		for _, i := range members {
+			w := snap.States[i][vm.CPU]
+			weights[i] = w
 			total += w
 		}
 	}
 	if total <= 0 {
 		// Nothing reports usage: split equally across running VMs.
-		for _, id := range members {
-			weights[int(id)] = 1
+		for _, i := range members {
+			weights[i] = 1
 		}
 		total = float64(len(members))
 	}
-	for _, id := range members {
-		alloc.PerVM[int(id)] = dyn * weights[int(id)] / total
+	for _, i := range members {
+		alloc.PerVM[i] = dyn * weights[i] / total
 	}
-	return e.attributeIdle(alloc), nil
+	return e.attributeIdle(alloc, members), nil
 }
 
 // Estimate disaggregates a measured total power across the snapshot's
@@ -758,6 +786,9 @@ func (e *Estimator) estimateSpan(snap hypervisor.Snapshot, measuredTotal float64
 	}
 	set := e.host.Set()
 	n := set.Len()
+	if n > vm.MaxPlayers {
+		return nil, fmt.Errorf("core: %d VMs exceed the %d-player coalition mask limit; use EstimateTick's symmetry-collapsed path", n, vm.MaxPlayers)
+	}
 	dyn := measuredTotal - e.idlePower
 	if dyn < 0 {
 		dyn = 0
@@ -773,7 +804,7 @@ func (e *Estimator) estimateSpan(snap hypervisor.Snapshot, measuredTotal float64
 	}
 	if running.IsEmpty() {
 		alloc.Method = "exact"
-		return e.attributeIdle(alloc), nil
+		return e.attributeIdle(alloc, nil), nil
 	}
 
 	worth, worthErr := e.buildWorth(snap, dyn)
@@ -808,7 +839,7 @@ func (e *Estimator) estimateSpan(snap hypervisor.Snapshot, measuredTotal float64
 		return nil, fmt.Errorf("core: worth evaluation: %w", werr)
 	}
 	alloc.PerVM = phi
-	alloc = e.attributeIdle(alloc)
+	alloc = e.attributeIdle(alloc, nil)
 	sp.Mark("normalize")
 	return alloc, nil
 }
@@ -952,16 +983,21 @@ func (e *Estimator) estimateTick(snap hypervisor.Snapshot, measuredTotal float64
 	if !e.trained {
 		return nil, ErrUntrained
 	}
+	n := e.host.Set().Len()
+	wide := n > vm.MaxPlayers
 	plan := e.ensurePlan()
 	if plan == nil {
+		if wide {
+			return nil, fmt.Errorf("core: %d VMs exceed the %d-player mask limit; exact estimation needs the compiled worth plan and the symmetry-collapsed solver", n, vm.MaxPlayers)
+		}
 		return e.estimateSpan(snap, measuredTotal, sp)
 	}
-	n := e.host.Set().Len()
 	dyn := measuredTotal - e.idlePower
 	if dyn < 0 {
 		dyn = 0
 	}
 	running := snap.Coalition
+	members := e.runningMembers(snap)
 
 	alloc := &Allocation{
 		Tick:          snap.Tick,
@@ -969,10 +1005,31 @@ func (e *Estimator) estimateTick(snap hypervisor.Snapshot, measuredTotal float64
 		MeasuredPower: measuredTotal,
 		DynamicPower:  dyn,
 	}
-	if running.IsEmpty() {
+	if len(members) == 0 {
 		alloc.Method = "exact"
 		alloc.PerVM = make([]float64, n)
-		return e.attributeIdle(alloc), nil
+		return e.attributeIdle(alloc, members), nil
+	}
+
+	// Symmetry-collapsed exact path: when the running VMs group into
+	// k < n_running classes (same VHC class bit, bit-equal state), solve
+	// the collapsed game over ∏(c_j+1) count vectors instead of 2^n
+	// masks — the only exact route on wide hosts, and past the gate in
+	// symWorthwhile a strict win inside the mask range too.
+	if !e.cfg.DisableSymmetry {
+		handled, err := e.symTick(plan, snap, members, dyn, sp, alloc)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			sp.Mark("solve")
+			alloc = e.attributeIdle(alloc, members)
+			sp.Mark("normalize")
+			return alloc, nil
+		}
+	}
+	if wide {
+		return nil, fmt.Errorf("core: %d running VMs exceed the %d-player mask limit and do not collapse into symmetry classes within the per-tick vector budget", len(members), vm.MaxPlayers)
 	}
 
 	worth, worthErr := planWorth(plan, running, snap.States, dyn)
@@ -1010,7 +1067,7 @@ func (e *Estimator) estimateTick(snap hypervisor.Snapshot, measuredTotal float64
 		return nil, err
 	}
 	alloc.PerVM = phi
-	alloc = e.attributeIdle(alloc)
+	alloc = e.attributeIdle(alloc, members)
 	sp.Mark("normalize")
 	return alloc, nil
 }
@@ -1132,18 +1189,26 @@ func (e *Estimator) Audit(snap hypervisor.Snapshot, measuredTotal, tol float64) 
 	return report, alloc, nil
 }
 
-// attributeIdle fills IdlePerVM per the configured rule.
-func (e *Estimator) attributeIdle(alloc *Allocation) *Allocation {
+// attributeIdle fills IdlePerVM per the configured rule. members is the
+// running VM set as indices; pass nil to derive it from the allocation's
+// coalition mask (valid only below the mask limit).
+func (e *Estimator) attributeIdle(alloc *Allocation, members []int) *Allocation {
+	if members == nil {
+		ids := alloc.Coalition.Members()
+		members = make([]int, len(ids))
+		for i, id := range ids {
+			members[i] = int(id)
+		}
+	}
 	switch e.cfg.IdleAttribution {
 	case IdleEqual:
 		alloc.IdlePerVM = make([]float64, len(alloc.PerVM))
-		members := alloc.Coalition.Members()
 		if len(members) == 0 {
 			return alloc
 		}
 		share := e.idlePower / float64(len(members))
-		for _, id := range members {
-			alloc.IdlePerVM[int(id)] = share
+		for _, i := range members {
+			alloc.IdlePerVM[i] = share
 		}
 	case IdleProportional:
 		alloc.IdlePerVM = make([]float64, len(alloc.PerVM))
@@ -1153,13 +1218,12 @@ func (e *Estimator) attributeIdle(alloc *Allocation) *Allocation {
 		}
 		if sum <= 0 {
 			// Degenerate to equal shares when nothing draws power.
-			members := alloc.Coalition.Members()
 			if len(members) == 0 {
 				return alloc
 			}
 			share := e.idlePower / float64(len(members))
-			for _, id := range members {
-				alloc.IdlePerVM[int(id)] = share
+			for _, i := range members {
+				alloc.IdlePerVM[i] = share
 			}
 			return alloc
 		}

@@ -31,6 +31,15 @@ type Metrics struct {
 	// recurrence (vmpower_plan_coalitions_{evaluated,reused}_total).
 	PlanCoalitionsEvaluated *obs.Counter
 	PlanCoalitionsReused    *obs.Counter
+	// SymTicks counts exact ticks served through the symmetry-collapsed
+	// solver (vmpower_sym_ticks_total); SymClasses is the class count of
+	// the last such tick (vmpower_sym_classes). SymVectorsEvaluated /
+	// SymVectorsReused count collapsed-table entries re-evaluated vs
+	// reused across ticks (vmpower_sym_vectors_{evaluated,reused}_total).
+	SymTicks            *obs.Counter
+	SymClasses          *obs.Gauge
+	SymVectorsEvaluated *obs.Counter
+	SymVectorsReused    *obs.Counter
 }
 
 // pkgMetrics is swapped atomically so Instrument may run while ticks are
@@ -60,6 +69,14 @@ func Instrument(reg *obs.Registry) {
 			"worth-table entries (re-)evaluated by plan ticks"),
 		PlanCoalitionsReused: reg.Counter("vmpower_plan_coalitions_reused_total",
 			"worth-table entries reused verbatim across ticks"),
+		SymTicks: reg.Counter("vmpower_sym_ticks_total",
+			"exact estimation ticks served through the symmetry-collapsed solver"),
+		SymClasses: reg.Gauge("vmpower_sym_classes",
+			"symmetry classes of the last collapsed tick"),
+		SymVectorsEvaluated: reg.Counter("vmpower_sym_vectors_evaluated_total",
+			"collapsed worth-table entries (re-)evaluated by symmetry ticks"),
+		SymVectorsReused: reg.Counter("vmpower_sym_vectors_reused_total",
+			"collapsed worth-table entries reused verbatim across ticks"),
 	})
 }
 
@@ -78,6 +95,18 @@ func (m *Metrics) notePlanCompileError() {
 		return
 	}
 	m.PlanCompileErrors.Inc()
+}
+
+// noteSymTick publishes one symmetry-collapsed exact tick's shape and
+// cache behaviour.
+func (m *Metrics) noteSymTick(classes, evaluated, reused int) {
+	if m == nil {
+		return
+	}
+	m.SymTicks.Inc()
+	m.SymClasses.Set(float64(classes))
+	m.SymVectorsEvaluated.Add(uint64(evaluated))
+	m.SymVectorsReused.Add(uint64(reused))
 }
 
 // notePlanTick publishes one plan-served exact tick's cache behaviour.

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vmpower/internal/hypervisor"
+	"vmpower/internal/machine"
+	"vmpower/internal/meter"
+	"vmpower/internal/obs"
+	"vmpower/internal/vm"
+	"vmpower/internal/workload"
+)
+
+// symTestRig builds a rig with repeated VM types on the given profile:
+// typeCounts[t] VMs of catalog type t, in type order (so same-type VMs
+// are ID-contiguous).
+func symTestRig(t *testing.T, prof machine.Profile, typeCounts []int, cfg Config) (*hypervisor.Host, *Estimator) {
+	t.Helper()
+	mach, err := machine.New(prof, machine.Pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vms []vm.VM
+	for typ, c := range typeCounts {
+		for i := 0; i < c; i++ {
+			vms = append(vms, vm.VM{Type: vm.TypeID(typ)})
+		}
+	}
+	set, err := vm.NewSet(vm.PaperCatalog(), vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := hypervisor.NewHost(mach, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := meter.Perfect(host.PowerSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.OfflineTicksPerCombo == 0 {
+		cfg.OfflineTicksPerCombo = 40
+	}
+	if cfg.IdleMeasureTicks == 0 {
+		cfg.IdleMeasureTicks = 3
+	}
+	est, err := New(host, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return host, est
+}
+
+// attachClassWorkloads binds one workload per catalog type, shared (same
+// seed / same constant) by every VM of that type, so same-type VMs carry
+// bit-equal states each tick and form genuine symmetry classes.
+func attachClassWorkloads(t *testing.T, host *hypervisor.Host, gens []workload.Generator) {
+	t.Helper()
+	set := host.Set()
+	for i := 0; i < set.Len(); i++ {
+		v, err := set.VM(vm.ID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := host.Attach(vm.ID(i), gens[int(v.Type)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func startAll(t *testing.T, host *hypervisor.Host) {
+	t.Helper()
+	running := make([]bool, host.Set().Len())
+	for i := range running {
+		running[i] = true
+	}
+	if err := host.SetRunning(running); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymmetryMatchesLegacyExact is the tentpole's equivalence property:
+// a 14-VM host (12x type0 + 2x type1, class workloads) run twice from the
+// same seed — once on the symmetry-collapsed path, once forced onto 2^n
+// mask enumeration via DisableSymmetry — must agree on every share of
+// every tick to 1e-12 of the measured power scale, across constant-state
+// reuse ticks, all-dirty synthetic ticks and running-set changes.
+func TestSymmetryMatchesLegacyExact(t *testing.T) {
+	typeCounts := []int{12, 2}
+	cfg := Config{Seed: 3, OfflineTicksPerCombo: 40, IdleMeasureTicks: 3}
+	legacyCfg := cfg
+	legacyCfg.DisableSymmetry = true
+	hostS, estS := symTestRig(t, machine.XeonProfile(), typeCounts, cfg)
+	hostL, estL := symTestRig(t, machine.XeonProfile(), typeCounts, legacyCfg)
+	for _, est := range []*Estimator{estS, estL} {
+		if err := est.CollectOffline(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hosts := []*hypervisor.Host{hostS, hostL}
+	for _, host := range hosts {
+		attachClassWorkloads(t, host, []workload.Generator{
+			workload.Synthetic{Seed: 11}, // type 0: all 12 members dirty every tick
+			workload.Constant("steady", vm.State{vm.CPU: 0.4, vm.Memory: 0.2, vm.DiskIO: 0.1}),
+		})
+	}
+
+	symTicks := 0
+	step := func(tick int) {
+		allocS, err := estS.EstimateTick()
+		if err != nil {
+			t.Fatalf("tick %d: sym estimate: %v", tick, err)
+		}
+		allocL, err := estL.EstimateTick()
+		if err != nil {
+			t.Fatalf("tick %d: legacy estimate: %v", tick, err)
+		}
+		if allocL.SymmetryClasses != 0 {
+			t.Fatalf("tick %d: DisableSymmetry rig reports %d classes", tick, allocL.SymmetryClasses)
+		}
+		if allocS.Method != "exact" || allocL.Method != "exact" {
+			t.Fatalf("tick %d: methods %q / %q", tick, allocS.Method, allocL.Method)
+		}
+		if allocS.MeasuredPower != allocL.MeasuredPower {
+			t.Fatalf("tick %d: measured %v != %v", tick, allocS.MeasuredPower, allocL.MeasuredPower)
+		}
+		if allocS.SymmetryClasses > 0 {
+			symTicks++
+		}
+		tol := 1e-12 * math.Max(1, allocS.MeasuredPower)
+		for i := range allocS.PerVM {
+			if math.Abs(allocS.PerVM[i]-allocL.PerVM[i]) > tol {
+				t.Fatalf("tick %d VM %d: sym %.17g, legacy %.17g (tol %g)",
+					tick, i, allocS.PerVM[i], allocL.PerVM[i], tol)
+			}
+		}
+		// Symmetry axiom, exactly: same-class members get the same share
+		// bit for bit on the collapsed path (one phi per class).
+		if allocS.SymmetryClasses > 0 {
+			set := hostS.Set()
+			snap := hostS.Collect()
+			for i := 1; i < set.Len(); i++ {
+				vi, _ := set.VM(vm.ID(i))
+				v0, _ := set.VM(vm.ID(i - 1))
+				if vi.Type == v0.Type && snap.Running[i] && snap.Running[i-1] &&
+					snap.States[i] == snap.States[i-1] &&
+					allocS.PerVM[i] != allocS.PerVM[i-1] {
+					t.Fatalf("tick %d: same-class VMs %d/%d differ: %v vs %v",
+						tick, i-1, i, allocS.PerVM[i-1], allocS.PerVM[i])
+				}
+			}
+		}
+		// Efficiency against the measured dynamic power.
+		var sum float64
+		for _, p := range allocS.PerVM {
+			sum += p
+		}
+		if math.Abs(sum-allocS.DynamicPower) > 1e-9*math.Max(1, allocS.DynamicPower) {
+			t.Fatalf("tick %d: Σφ = %v, dyn = %v", tick, sum, allocS.DynamicPower)
+		}
+	}
+
+	tick := 0
+	phase := func(stopped []int, ticks int) {
+		for _, host := range hosts {
+			startAll(t, host)
+			for _, id := range stopped {
+				if err := host.Stop(vm.ID(id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for i := 0; i < ticks; i++ {
+			for _, host := range hosts {
+				host.Advance(1)
+			}
+			tick++
+			step(tick)
+		}
+	}
+	phase(nil, 10)               // full house: classes (12, 2), all-dirty + steady
+	phase([]int{0, 1, 2, 13}, 8) // class-count change: (9, 1), full retab
+	phase(nil, 6)                // recovery
+	if symTicks == 0 {
+		t.Fatal("no tick used the symmetry-collapsed path")
+	}
+}
+
+// TestSymmetryWideHost is the 2^n-wall tentpole claim: a 30-VM host — past
+// vm.MaxPlayers, where coalition masks cannot exist — collects offline and
+// estimates exactly through the collapsed solver, with per-class equal
+// shares and efficiency against the meter.
+func TestSymmetryWideHost(t *testing.T) {
+	typeCounts := []int{10, 10, 10}
+	host, est := symTestRig(t, machine.DenseProfile(), typeCounts, Config{Seed: 7})
+	if err := est.CollectOffline(); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	attachClassWorkloads(t, host, []workload.Generator{
+		workload.Synthetic{Seed: 21},
+		workload.Constant("steady", vm.State{vm.CPU: 0.5, vm.Memory: 0.25, vm.DiskIO: 0.1}),
+		workload.Synthetic{Seed: 23, IdleProb: 0.1},
+	})
+	startAll(t, host)
+	for tick := 0; tick < 12; tick++ {
+		host.Advance(1)
+		alloc, err := est.EstimateTick()
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if alloc.Method != "exact" {
+			t.Fatalf("tick %d: method %q, want exact", tick, alloc.Method)
+		}
+		if alloc.SymmetryClasses != 3 {
+			t.Fatalf("tick %d: %d classes, want 3", tick, alloc.SymmetryClasses)
+		}
+		if len(alloc.PerVM) != 30 {
+			t.Fatalf("tick %d: %d shares", tick, len(alloc.PerVM))
+		}
+		// Same-class members share one phi, bit for bit.
+		for typ := 0; typ < 3; typ++ {
+			base := typ * 10
+			for i := 1; i < 10; i++ {
+				if alloc.PerVM[base+i] != alloc.PerVM[base] {
+					t.Fatalf("tick %d: class %d shares differ: %v vs %v",
+						tick, typ, alloc.PerVM[base+i], alloc.PerVM[base])
+				}
+			}
+		}
+		var sum float64
+		for _, p := range alloc.PerVM {
+			sum += p
+		}
+		if math.Abs(sum-alloc.DynamicPower) > 1e-9*math.Max(1, alloc.DynamicPower) {
+			t.Fatalf("tick %d: Σφ = %v, dyn = %v", tick, sum, alloc.DynamicPower)
+		}
+	}
+	// Stop three VMs of class 0: counts (7, 10, 10), still collapsed.
+	for _, id := range []vm.ID{0, 1, 2} {
+		if err := host.Stop(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host.Advance(1)
+	alloc, err := est.EstimateTick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.SymmetryClasses != 3 {
+		t.Fatalf("after stop: %d classes, want 3", alloc.SymmetryClasses)
+	}
+	for _, id := range []int{0, 1, 2} {
+		if alloc.PerVM[id] != 0 {
+			t.Fatalf("stopped VM %d got %v, want 0", id, alloc.PerVM[id])
+		}
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, m := range snap {
+		if m.Name == "vmpower_sym_ticks_total" && float64(m.Value) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("vmpower_sym_ticks_total not incremented")
+	}
+}
+
+// TestSymmetryWideHostRequiresCollapse pins the wide-host error paths:
+// with the collapsed solver disabled (or the worth plan off entirely) a
+// set past the mask limit cannot be estimated, and the error says why.
+func TestSymmetryWideHostRequiresCollapse(t *testing.T) {
+	for _, cfg := range []Config{
+		{Seed: 7, DisableSymmetry: true},
+		{Seed: 7, DisableWorthPlan: true},
+	} {
+		host, est := symTestRig(t, machine.DenseProfile(), []int{10, 10, 10}, cfg)
+		if err := est.CollectOffline(); err != nil {
+			t.Fatal(err)
+		}
+		startAll(t, host)
+		host.Advance(1)
+		_, err := est.EstimateTick()
+		if err == nil {
+			t.Fatalf("cfg %+v: wide host without collapse must error", cfg)
+		}
+		if !strings.Contains(err.Error(), "mask limit") {
+			t.Fatalf("cfg %+v: error %q does not mention the mask limit", cfg, err)
+		}
+	}
+	// Estimate (the pure mask-path API) refuses wide sets outright.
+	host, est := symTestRig(t, machine.DenseProfile(), []int{10, 10, 10}, Config{Seed: 7})
+	if err := est.CollectOffline(); err != nil {
+		t.Fatal(err)
+	}
+	startAll(t, host)
+	host.Advance(1)
+	if _, err := est.Estimate(host.Collect(), 500); err == nil {
+		t.Fatal("Estimate on a wide set must error")
+	}
+}
+
+// TestSymmetryGateKeepsDistinctGamesOnMaskPath pins the gate: when every
+// running VM is its own class (distinct states), the collapsed solver
+// stays out of the way and the plan's mask machinery serves the tick.
+func TestSymmetryGateKeepsDistinctGamesOnMaskPath(t *testing.T) {
+	host, est := symTestRig(t, machine.XeonProfile(), []int{2, 1}, Config{Seed: 5})
+	if err := est.CollectOffline(); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct per-VM workloads: no two states collide (different seeds).
+	for i := 0; i < host.Set().Len(); i++ {
+		if err := host.Attach(vm.ID(i), workload.Synthetic{Seed: int64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	startAll(t, host)
+	for tick := 0; tick < 5; tick++ {
+		host.Advance(1)
+		alloc, err := est.EstimateTick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := host.Collect()
+		distinct := snap.States[0] != snap.States[1]
+		if distinct && alloc.SymmetryClasses != 0 {
+			t.Fatalf("tick %d: distinct states but %d symmetry classes", tick, alloc.SymmetryClasses)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"vmpower/internal/core"
 	"vmpower/internal/faults"
@@ -71,6 +72,10 @@ type Config struct {
 	// negative uses all cores (GOMAXPROCS), >= 2 uses that many workers.
 	// Tick contents are bit-for-bit identical at any setting.
 	Parallelism int
+	// TickInterval is the wall-clock duration one Step covers; the energy
+	// rollups integrate watts × interval per tick. 0 defaults to 1 s (the
+	// historical cadence); negative is rejected.
+	TickInterval time.Duration
 	// QuarantineProbeTicks is the readmission probe cadence: a
 	// quarantined host is re-estimated every this many ticks (a probe
 	// that succeeds readmits the host that same tick). 0 defaults to 5;
@@ -178,6 +183,8 @@ type Fleet struct {
 	states      []hostRuntime
 	quarantines int
 	readmits    int
+	dt          float64 // seconds one Step covers
+	elapsed     float64 // seconds integrated so far
 	energyWs    map[string]float64
 	degradedWs  map[string]float64
 }
@@ -242,6 +249,12 @@ func New(cfg Config, reqs []VMRequest) (*Fleet, error) {
 	if cfg.QuarantineProbeTicks == 0 {
 		cfg.QuarantineProbeTicks = 5
 	}
+	if cfg.TickInterval < 0 {
+		return nil, fmt.Errorf("fleet: negative tick interval %v", cfg.TickInterval)
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = time.Second
+	}
 	if len(reqs) == 0 {
 		return nil, errors.New("fleet: no VM requests")
 	}
@@ -305,6 +318,7 @@ func New(cfg Config, reqs []VMRequest) (*Fleet, error) {
 		degradedWs: make(map[string]float64),
 		par:        cfg.Parallelism,
 		probeEvery: cfg.QuarantineProbeTicks,
+		dt:         cfg.TickInterval.Seconds(),
 	}
 	for h := 0; h < cfg.Hosts; h++ {
 		if len(perHost[h]) == 0 {
@@ -619,11 +633,14 @@ func (f *Fleet) Step() (*Tick, error) {
 		w := a.PerVM[int(p.local)]
 		tick.PerVM[name] = w
 		tick.PerTenant[p.req.Tenant] += w
-		f.energyWs[name] += w
+		// Watt-seconds = watts × the real tick interval; "+= w" would bake
+		// in a 1 Hz assumption and mis-bill any other cadence.
+		f.energyWs[name] += w * f.dt
 		if a.Degraded {
-			f.degradedWs[name] += w
+			f.degradedWs[name] += w * f.dt
 		}
 	}
+	f.elapsed += f.dt
 	return tick, nil
 }
 
@@ -640,6 +657,10 @@ func (f *Fleet) Run(n int, fn func(*Tick) bool) error {
 	}
 	return nil
 }
+
+// ElapsedSeconds is the total wall-clock time integrated into the energy
+// rollups so far: ticks × TickInterval, as real seconds.
+func (f *Fleet) ElapsedSeconds() float64 { return f.elapsed }
 
 // EnergyWhByTenant returns cumulative attributed energy per tenant in
 // watt-hours since the fleet started stepping, including energy from

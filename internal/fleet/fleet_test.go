@@ -5,6 +5,7 @@ import (
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"vmpower/internal/faults"
 	"vmpower/internal/machine"
@@ -144,6 +145,57 @@ func TestFleetEndToEnd(t *testing.T) {
 	}
 	if energy["bob"] <= energy["alice"] {
 		t.Fatalf("bob should out-consume alice: %v", energy)
+	}
+}
+
+// TestFleetTickInterval pins the energy integration to the configured
+// tick interval: the same deterministic trace stepped at 250 ms must
+// integrate exactly a quarter of the 1 s energy (0.25 is a power of two,
+// so the per-tick scaling is exact and the quarters match bit for bit),
+// and ElapsedSeconds must report real time, not the tick count.
+func TestFleetTickInterval(t *testing.T) {
+	reqs := []VMRequest{
+		{Name: "web", Tenant: "alice", Type: 0, Workload: "gcc", WorkloadSeed: 1},
+		{Name: "db", Tenant: "bob", Type: 2, Workload: "omnetpp", WorkloadSeed: 2},
+	}
+	run := func(interval time.Duration) *Fleet {
+		cfg := quickConfig(1)
+		cfg.TickInterval = interval
+		f, err := New(cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Calibrate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Run(8, nil); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	oneHz := run(0) // default 1 s
+	fast := run(250 * time.Millisecond)
+
+	if got := oneHz.ElapsedSeconds(); got != 8 {
+		t.Fatalf("1 Hz elapsed = %g s, want 8", got)
+	}
+	if got := fast.ElapsedSeconds(); got != 2 {
+		t.Fatalf("250 ms elapsed = %g s, want 2", got)
+	}
+	whSlow, whFast := oneHz.EnergyWhByTenant(), fast.EnergyWhByTenant()
+	for _, tenant := range []string{"alice", "bob"} {
+		if whSlow[tenant] <= 0 {
+			t.Fatalf("%s drew no energy at 1 Hz", tenant)
+		}
+		if whFast[tenant] != whSlow[tenant]/4 {
+			t.Fatalf("%s at 250 ms = %g Wh, want exactly %g/4", tenant, whFast[tenant], whSlow[tenant])
+		}
+	}
+
+	cfg := quickConfig(1)
+	cfg.TickInterval = -time.Second
+	if _, err := New(cfg, reqs); err == nil {
+		t.Fatal("want negative-interval error")
 	}
 }
 

@@ -71,8 +71,10 @@ type StatusJSON struct {
 // EnergyJSON is the wire form of the cumulative energy counters. The
 // degraded slice is the watt-hours integrated from holdover/fallback
 // ticks — included in the per-tenant totals, broken out for billing.
+// Seconds is the real integrated time (ticks × tick interval), not the
+// tick count.
 type EnergyJSON struct {
-	Seconds             int                `json:"seconds"`
+	Seconds             float64            `json:"seconds"`
 	PerTenantWh         map[string]float64 `json:"per_tenant_wh"`
 	DegradedPerTenantWh map[string]float64 `json:"degraded_per_tenant_wh,omitempty"`
 	TotalWh             float64            `json:"total_wh"`
@@ -206,7 +208,7 @@ func wireHosts(statuses []fleet.HostStatus) []HostJSON {
 // from Step's goroutine only (the fleet's maps are not lock-protected).
 func energyJSON(f *fleet.Fleet) EnergyJSON {
 	out := EnergyJSON{
-		Seconds:     f.Ticks(),
+		Seconds:     f.ElapsedSeconds(),
 		PerTenantWh: f.EnergyWhByTenant(),
 	}
 	deg := f.DegradedEnergyWhByTenant()

@@ -130,13 +130,27 @@ func (h *Host) Stop(id vm.ID) error {
 	return nil
 }
 
-// SetCoalition starts exactly the VMs in mask and stops the rest.
+// SetCoalition starts exactly the VMs in mask and stops the rest. On a
+// wide host (more than vm.MaxPlayers VMs) a mask can only address the
+// first vm.MaxPlayers VMs; use SetRunning there.
 func (h *Host) SetCoalition(mask vm.Coalition) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.running {
 		h.running[i] = mask.Contains(vm.ID(i))
 	}
+}
+
+// SetRunning starts exactly the VMs with running[i] true and stops the
+// rest — the wide-set equivalent of SetCoalition, usable at any set size.
+func (h *Host) SetRunning(running []bool) error {
+	if len(running) != h.set.Len() {
+		return fmt.Errorf("hypervisor: %d running flags for %d VMs", len(running), h.set.Len())
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	copy(h.running, running)
+	return nil
 }
 
 // SetCPULimit caps a VM's CPU utilization at frac (0..1], the way a
@@ -174,6 +188,13 @@ func (h *Host) Running() vm.Coalition {
 }
 
 func (h *Host) runningLocked() vm.Coalition {
+	// A bitmask can only address the first vm.MaxPlayers VMs; on a wide
+	// host the coalition view is meaningless — callers must use the
+	// Running flags instead (the zero mask keeps With from silently
+	// wrapping shifts past the word width).
+	if h.set.Len() > vm.MaxPlayers {
+		return vm.EmptyCoalition
+	}
 	var c vm.Coalition
 	for i, r := range h.running {
 		if r {
@@ -205,8 +226,13 @@ func (h *Host) Clock() int {
 type Snapshot struct {
 	// Tick is the host clock at collection time.
 	Tick int
-	// Coalition is the set of running VMs.
+	// Coalition is the set of running VMs. On a wide host (more than
+	// vm.MaxPlayers VMs) the mask cannot represent the set and is left
+	// empty; use Running instead.
 	Coalition vm.Coalition
+	// Running holds one flag per VM (true = running) and is valid at any
+	// set size, unlike the Coalition mask.
+	Running []bool
 	// States holds every VM's component state (stopped VMs are zero),
 	// quantized to the host resolution.
 	States []vm.State
@@ -219,6 +245,8 @@ func (h *Host) Collect() Snapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	states := make([]vm.State, h.set.Len())
+	running := make([]bool, h.set.Len())
+	copy(running, h.running)
 	for i := range states {
 		if !h.running[i] {
 			continue
@@ -231,14 +259,43 @@ func (h *Host) Collect() Snapshot {
 			states[i] = s.Quantize(h.resolution)
 		}
 	}
-	return Snapshot{Tick: h.tick, Coalition: h.runningLocked(), States: states}
+	return Snapshot{Tick: h.tick, Coalition: h.runningLocked(), Running: running, States: states}
 }
 
 // Loads returns the machine loads of the currently running VMs in VM ID
-// order, using the current tick's states.
+// order, using the current tick's states. It iterates the Running flags
+// rather than the Coalition mask, so it is correct on wide hosts too.
 func (h *Host) Loads() ([]machine.Load, error) {
 	snap := h.Collect()
-	return h.LoadsFor(snap.Coalition, snap.States)
+	return h.LoadsRunning(snap.Running, snap.States)
+}
+
+// LoadsRunning builds machine loads for an arbitrary running-flag vector
+// and state assignment — the wide-set equivalent of LoadsFor.
+func (h *Host) LoadsRunning(running []bool, states []vm.State) ([]machine.Load, error) {
+	if len(states) != h.set.Len() {
+		return nil, fmt.Errorf("hypervisor: %d states for %d VMs", len(states), h.set.Len())
+	}
+	if len(running) != h.set.Len() {
+		return nil, fmt.Errorf("hypervisor: %d running flags for %d VMs", len(running), h.set.Len())
+	}
+	loads := make([]machine.Load, 0, len(running))
+	for i, r := range running {
+		if !r {
+			continue
+		}
+		t, err := h.set.TypeOf(vm.ID(i))
+		if err != nil {
+			return nil, err
+		}
+		loads = append(loads, machine.Load{
+			VCPUs:    t.VCPUs,
+			MemoryGB: t.MemoryGB,
+			DiskGB:   t.DiskGB,
+			State:    states[i],
+		})
+	}
+	return loads, nil
 }
 
 // LoadsFor builds machine loads for an arbitrary coalition and state

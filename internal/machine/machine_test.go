@@ -14,7 +14,7 @@ func load1(u float64) Load {
 }
 
 func TestProfileValidate(t *testing.T) {
-	for _, prof := range []Profile{XeonProfile(), PentiumProfile()} {
+	for _, prof := range []Profile{XeonProfile(), PentiumProfile(), DenseProfile()} {
 		if err := prof.Validate(); err != nil {
 			t.Fatalf("%s: %v", prof.Name, err)
 		}

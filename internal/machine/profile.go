@@ -130,6 +130,29 @@ func XeonProfile() Profile {
 	}
 }
 
+// DenseProfile models a modern high-density virtualization host: 128
+// physical cores with two threads each (256 logical cores), the scale at
+// which a VM population of hundreds collapses into repeated symmetry
+// classes and exact allocation runs through the collapsed solver rather
+// than 2^n enumeration. Power constants are extrapolated from the Xeon
+// profile at 8x the core count.
+func DenseProfile() Profile {
+	return Profile{
+		Name:           "dense256",
+		PhysicalCores:  128,
+		ThreadsPerCore: 2,
+		IdlePower:      420,
+		UncorePower:    6,
+		Alpha:          9,
+		Beta:           3.5,
+		DeliveryFloor:  0.45,
+		DeliveryTau:    24,
+		MemoryGB:       1024,
+		MemoryPowerMax: 48,
+		DiskPowerMax:   20,
+	}
+}
+
 // PentiumProfile models the paper's Intel Pentium measurement machine:
 // a lone busy hyperthread adds 9 W, a busy sibling adds 9·(1−0.2522) ≈
 // 6.73 W, reproducing the 25.22% per-VM model error of Fig. 4a.

@@ -49,9 +49,11 @@ type StatusJSON struct {
 	LastDegradedReason string `json:"last_degraded_reason,omitempty"`
 }
 
-// EnergyJSON is the wire form of the cumulative energy counters.
+// EnergyJSON is the wire form of the cumulative energy counters. Seconds
+// is the real integrated time — ticks × tick interval — not the tick
+// count, so a daemon stepped at 250 ms reports 0.25 s per tick.
 type EnergyJSON struct {
-	Seconds int                `json:"seconds"`
+	Seconds float64            `json:"seconds"`
 	PerVMWh map[string]float64 `json:"per_vm_wh"`
 	TotalWh float64            `json:"total_wh"`
 }
@@ -68,12 +70,14 @@ type Server struct {
 	createdAt time.Time
 
 	mu            sync.RWMutex
+	interval      time.Duration
 	latest        *AllocationJSON
 	lastSnap      *hypervisor.Snapshot
 	lastPow       float64
 	history       []*AllocationJSON
 	histCap       int
 	energyWs      map[string]float64
+	energySeconds float64
 	ticks         int
 	degradedTicks int
 	rejected      int
@@ -108,9 +112,25 @@ func New(est *core.Estimator, names []string, historySize int) (*Server, error) 
 		names:     append([]string(nil), names...),
 		histCap:   historySize,
 		energyWs:  make(map[string]float64, len(names)),
+		interval:  time.Second,
 		now:       time.Now,
 		createdAt: time.Now(),
 	}, nil
+}
+
+// SetInterval declares the wall-clock duration one Step covers, which the
+// energy counters integrate over (watts × interval per tick). The default
+// is 1 s; a daemon stepping at any other cadence must call this or its
+// watt-hours are off by the ratio. Call it before the first Step — energy
+// already accumulated is not rescaled.
+func (s *Server) SetInterval(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("powerd: non-positive step interval %v", d)
+	}
+	s.mu.Lock()
+	s.interval = d
+	s.mu.Unlock()
+	return nil
 }
 
 // Step advances the host clock one tick, estimates, and records the
@@ -166,14 +186,19 @@ func (s *Server) record(alloc *core.Allocation, snap *hypervisor.Snapshot) *Allo
 		s.lastDegraded = alloc.DegradedReason
 	}
 	s.rejected += alloc.RejectedSamples
+	// Energy integrates power over the real tick interval (watt-seconds =
+	// watts × dt), not "+= watts": the old form silently assumed 1 Hz and
+	// over-billed faster loops by the cadence ratio.
+	dt := s.interval.Seconds()
 	for i, name := range s.names {
 		w := alloc.PerVM[i]
 		if alloc.IdlePerVM != nil {
 			w += alloc.IdlePerVM[i]
 		}
 		wire.PerVM[name] = w
-		s.energyWs[name] += w
+		s.energyWs[name] += w * dt
 	}
+	s.energySeconds += dt
 	s.latest = wire
 	s.history = append(s.history, wire)
 	if len(s.history) > s.histCap {
@@ -370,7 +395,7 @@ func (s *Server) handleEnergy(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := EnergyJSON{
-		Seconds: s.ticks,
+		Seconds: s.energySeconds,
 		PerVMWh: make(map[string]float64, len(s.energyWs)),
 	}
 	for name, ws := range s.energyWs {

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"vmpower/internal/core"
 	"vmpower/internal/hypervisor"
@@ -191,8 +192,8 @@ func TestEnergyEndpoint(t *testing.T) {
 	if code := getJSON(t, ts, "/api/v1/energy", &energy); code != http.StatusOK {
 		t.Fatalf("energy code %d", code)
 	}
-	if energy.Seconds != steps {
-		t.Fatalf("Seconds = %d", energy.Seconds)
+	if energy.Seconds != float64(steps) {
+		t.Fatalf("Seconds = %g", energy.Seconds)
 	}
 	// ~13 W for 10 s ≈ 0.036 Wh.
 	if energy.PerVMWh["web"] < 0.02 || energy.PerVMWh["web"] > 0.06 {
@@ -203,6 +204,72 @@ func TestEnergyEndpoint(t *testing.T) {
 	}
 	if math.Abs(energy.TotalWh-energy.PerVMWh["web"]) > 1e-12 {
 		t.Fatal("total must equal the only live VM's energy")
+	}
+}
+
+// TestEnergyIntervalIntegration is the regression test for the 1 Hz
+// assumption the energy counters used to bake in: `energyWs += w` is only
+// watt-seconds when a tick covers exactly one second. A daemon stepped at
+// 250 ms must integrate watts × 0.25 s per tick — a quarter of the energy
+// of the same watt trace at 1 Hz, bit for bit, because 0.25 is a power of
+// two so the scaling commutes exactly with every rounding step.
+func TestEnergyIntervalIntegration(t *testing.T) {
+	run := func(interval time.Duration, steps int) EnergyJSON {
+		srv, host := testServer(t)
+		if interval != 0 {
+			if err := srv.SetInterval(interval); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		// Deterministic workload: both runs see the identical watt trace.
+		if err := host.Attach(0, workload.Synthetic{Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+		host.SetCoalition(vm.CoalitionOf(0))
+		for i := 0; i < steps; i++ {
+			if _, err := srv.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var energy EnergyJSON
+		if code := getJSON(t, ts, "/api/v1/energy", &energy); code != http.StatusOK {
+			t.Fatalf("energy code %d", code)
+		}
+		return energy
+	}
+
+	const steps = 12
+	oneHz := run(0, steps) // default 1 s interval
+	fast := run(250*time.Millisecond, steps)
+
+	if oneHz.Seconds != float64(steps) {
+		t.Fatalf("1 Hz Seconds = %g, want %d", oneHz.Seconds, steps)
+	}
+	if want := float64(steps) * 0.25; fast.Seconds != want {
+		t.Fatalf("250 ms Seconds = %g, want %g", fast.Seconds, want)
+	}
+	for _, name := range []string{"web", "db"} {
+		if got, want := fast.PerVMWh[name], oneHz.PerVMWh[name]/4; got != want {
+			t.Fatalf("%s at 250 ms = %g Wh, want exactly a quarter of %g Wh", name, got, oneHz.PerVMWh[name])
+		}
+	}
+	if fast.TotalWh != oneHz.TotalWh/4 {
+		t.Fatalf("total at 250 ms = %g Wh, want %g/4", fast.TotalWh, oneHz.TotalWh)
+	}
+	if oneHz.PerVMWh["web"] <= 0 {
+		t.Fatal("trace must carry nonzero energy for the ratio to mean anything")
+	}
+}
+
+func TestSetIntervalValidation(t *testing.T) {
+	srv, _ := testServer(t)
+	if err := srv.SetInterval(0); err == nil {
+		t.Fatal("want non-positive interval error")
+	}
+	if err := srv.SetInterval(-time.Second); err == nil {
+		t.Fatal("want negative interval error")
 	}
 }
 

@@ -64,8 +64,13 @@ func TestWeights(t *testing.T) {
 	if _, err := Weights(0); !errors.Is(err, ErrPlayers) {
 		t.Fatalf("Weights(0): %v", err)
 	}
-	if _, err := Weights(ExactMaxPlayers + 1); !errors.Is(err, ErrPlayers) {
+	if _, err := Weights(SymMaxPlayers + 1); !errors.Is(err, ErrPlayers) {
 		t.Fatalf("oversize: %v", err)
+	}
+	// Past the bitmask cap the symmetry-collapsed range still serves
+	// weight vectors (needed for games up to SymMaxPlayers players).
+	if w, err := Weights(ExactMaxPlayers + 1); err != nil || len(w) != ExactMaxPlayers+1 {
+		t.Fatalf("Weights(%d) = (%d entries, %v)", ExactMaxPlayers+1, len(w), err)
 	}
 }
 

@@ -1,0 +1,137 @@
+package vhc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"vmpower/internal/vm"
+)
+
+// This file extends the compiled worth plan to symmetry-collapsed
+// evaluation: when the host's VMs group into classes that share a VHC
+// class bit AND a bit-equal quantized state, v(S, C) depends only on how
+// many members of each class S contains, and the plan can evaluate a
+// type-count vector directly without materialising any coalition mask.
+// This is what lets core estimate exactly past the 2^n mask wall.
+
+// SymClass describes one symmetry class of the current tick: a maximal
+// group of running VMs with the same plan class bit and bit-equal state.
+type SymClass struct {
+	// Bit is the plan class bit shared by every member (1 << VHC class).
+	Bit ComboMask
+	// State is the members' shared quantized state (bit-equal across the
+	// class by construction).
+	State vm.State
+	// Count is the number of members.
+	Count int
+	// First is the lowest VM ID in the class, fixing a stable class order.
+	First int
+}
+
+// ClassBit returns VM i's compiled class bit (1 << class(type(vm i))).
+func (p *Plan) ClassBit(i int) (ComboMask, error) {
+	if i < 0 || i >= p.n {
+		return 0, fmt.Errorf("vhc: plan compiled for %d VMs, no VM %d", p.n, i)
+	}
+	return p.classBit[i], nil
+}
+
+// EvalCounts returns v(t, C): the worth of a coalition containing t[j]
+// members of symmetry class j, under the plan's trained snapshot. It is
+// equivalent to Eval on any mask realising those counts — and bit-equal
+// to it, because each class slot is accumulated by repeated addition of
+// the shared state (t[j] copies), the exact float sequence the per-member
+// aggregation produces; a multiplicative t·x shortcut could differ in the
+// last ulp and flip an exact-match table hit near a lattice boundary.
+// The all-zero vector is the empty coalition, worth 0.
+func (p *Plan) EvalCounts(classes []SymClass, t []int) (float64, error) {
+	const k = int(vm.NumComponents)
+	if len(t) != len(classes) {
+		return 0, fmt.Errorf("vhc: %d counts for %d classes", len(t), len(classes))
+	}
+	var combo ComboMask
+	for j := range classes {
+		switch {
+		case t[j] < 0 || t[j] > classes[j].Count:
+			return 0, fmt.Errorf("vhc: count t[%d]=%d outside [0,%d]", j, t[j], classes[j].Count)
+		case t[j] > 0:
+			combo |= classes[j].Bit
+		}
+	}
+	if combo == 0 {
+		return 0, nil
+	}
+	var feat [maxFeatureLen]float64
+	for j := range classes {
+		if t[j] == 0 {
+			continue
+		}
+		cb := classes[j].Bit
+		base := bits.OnesCount16(uint16(combo&(cb-1))) * k
+		st := &classes[j].State
+		for x := 0; x < t[j]; x++ {
+			for c := 0; c < k; c++ {
+				feat[base+c] += st[c]
+			}
+		}
+	}
+	flen := combo.Size() * k
+	if p.resolution > 0 {
+		if tab := p.table[combo]; tab != nil {
+			var key tableKey
+			for i := 0; i < flen; i++ {
+				key[i] = latticeCoord(feat[i], p.resolution)
+			}
+			if v, ok := tab[key]; ok {
+				return v, nil
+			}
+		}
+	}
+	w := p.weights[combo]
+	if w == nil {
+		return 0, fmt.Errorf("%w: %s", ErrUntrained, combo)
+	}
+	var dot float64
+	for i, x := range w {
+		dot += x * feat[i]
+	}
+	if dot < 0 {
+		dot = 0
+	}
+	return dot, nil
+}
+
+// ClassedFeaturesRunning is ClassedFeaturesFor over a running-flag vector
+// instead of a coalition mask — the wide-set form used when the VM set
+// exceeds the bitmask cap. Flags are scanned in ascending VM-ID order, the
+// same addition order as the mask form, so the two agree bit for bit on
+// sets both can represent.
+func ClassedFeaturesRunning(set *vm.Set, running []bool, states []vm.State, classes *ClassMap) (ComboMask, []float64, error) {
+	if err := classes.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if len(states) != set.Len() {
+		return 0, nil, fmt.Errorf("vhc: %d states for %d VMs", len(states), set.Len())
+	}
+	if len(running) != set.Len() {
+		return 0, nil, fmt.Errorf("vhc: %d running flags for %d VMs", len(running), set.Len())
+	}
+	agg := make(map[vm.TypeID]vm.State, classes.Classes)
+	var combo ComboMask
+	for i, r := range running {
+		if !r {
+			continue
+		}
+		v, err := set.VM(vm.ID(i))
+		if err != nil {
+			return 0, nil, err
+		}
+		if int(v.Type) >= len(classes.ByType) {
+			return 0, nil, fmt.Errorf("vhc: type %d not covered by class map", v.Type)
+		}
+		class := vm.TypeID(classes.ByType[v.Type])
+		combo |= 1 << uint(class)
+		agg[class] = agg[class].Add(states[i])
+	}
+	return combo, Features(combo, agg), nil
+}

@@ -1,0 +1,248 @@
+package vhc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmpower/internal/vm"
+)
+
+// symRigClasses groups the test set (2x type0, 1x type1, 1x type2) into
+// symmetry classes for states where VMs 0 and 1 share a bit-equal state.
+func symRigClasses(t *testing.T, plan *Plan, states []vm.State) []SymClass {
+	t.Helper()
+	b0, err := plan.ClassBit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := plan.ClassBit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := plan.ClassBit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []SymClass{
+		{Bit: b0, State: states[0], Count: 2, First: 0},
+		{Bit: b2, State: states[2], Count: 1, First: 2},
+		{Bit: b3, State: states[3], Count: 1, First: 3},
+	}
+}
+
+// maskForCounts returns one coalition mask realising the count vector
+// over the test set's class layout ({0,1} | {2} | {3}).
+func maskForCounts(tv []int) vm.Coalition {
+	var mask vm.Coalition
+	switch tv[0] {
+	case 1:
+		mask = mask.With(0)
+	case 2:
+		mask = mask.With(0).With(1)
+	}
+	if tv[1] > 0 {
+		mask = mask.With(2)
+	}
+	if tv[2] > 0 {
+		mask = mask.With(3)
+	}
+	return mask
+}
+
+// TestEvalCountsMatchesEval pins the collapsed evaluator to the mask
+// evaluator bit for bit, on every count vector and every mask realising
+// it, across table-hit and regression regimes. VMs 0 and 1 share a state
+// so they form a genuine 2-member symmetry class.
+func TestEvalCountsMatchesEval(t *testing.T) {
+	for _, res := range []float64{0, 0.01, 0.1} {
+		set, classes, a := trainedRig(t, res, 23)
+		plan, err := NewPlan(set, classes, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(17))
+		for trial := 0; trial < 500; trial++ {
+			states := make([]vm.State, set.Len())
+			for i := range states {
+				for c := 0; c < int(vm.NumComponents); c++ {
+					states[i][c] = math.Round(rng.Float64()*100) / 100
+				}
+			}
+			states[1] = states[0] // collapse VMs 0 and 1 into one class
+			sym := symRigClasses(t, plan, states)
+
+			tv := make([]int, 3)
+			for t0 := 0; t0 <= 2; t0++ {
+				for t1 := 0; t1 <= 1; t1++ {
+					for t2 := 0; t2 <= 1; t2++ {
+						tv[0], tv[1], tv[2] = t0, t1, t2
+						got, gotErr := plan.EvalCounts(sym, tv)
+						mask := maskForCounts(tv)
+						want, wantErr := plan.Eval(mask, states)
+						if (gotErr != nil) != (wantErr != nil) {
+							t.Fatalf("res=%g t=%v: counts err %v, mask err %v", res, tv, gotErr, wantErr)
+						}
+						if gotErr == nil && got != want {
+							t.Fatalf("res=%g t=%v mask=%s: counts %v != mask %v (diff %g)",
+								res, tv, mask, got, want, got-want)
+						}
+						// The symmetric-pair vector must also match the OTHER
+						// mask realising it.
+						if t0 == 1 {
+							alt := mask.Without(0).With(1)
+							wantAlt, err := plan.Eval(alt, states)
+							if err == nil && gotErr == nil && got != wantAlt {
+								t.Fatalf("res=%g t=%v alt mask=%s: counts %v != mask %v",
+									res, tv, alt, got, wantAlt)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvalCountsErrors(t *testing.T) {
+	set, classes, a := trainedRig(t, 0.01, 29)
+	plan, err := NewPlan(set, classes, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([]vm.State, set.Len())
+	sym := symRigClasses(t, plan, states)
+	if _, err := plan.EvalCounts(sym, []int{1, 1}); err == nil {
+		t.Fatal("count/class length mismatch must error")
+	}
+	if _, err := plan.EvalCounts(sym, []int{3, 0, 0}); err == nil {
+		t.Fatal("count above class size must error")
+	}
+	if _, err := plan.EvalCounts(sym, []int{-1, 0, 0}); err == nil {
+		t.Fatal("negative count must error")
+	}
+	if v, err := plan.EvalCounts(sym, []int{0, 0, 0}); err != nil || v != 0 {
+		t.Fatalf("empty vector = (%v, %v), want (0, nil)", v, err)
+	}
+	if _, err := plan.ClassBit(-1); err == nil {
+		t.Fatal("negative VM must error")
+	}
+	if _, err := plan.ClassBit(set.Len()); err == nil {
+		t.Fatal("out-of-range VM must error")
+	}
+}
+
+// TestEvalCountsUntrained pins error parity with Eval on an untrained
+// combo.
+func TestEvalCountsUntrained(t *testing.T) {
+	set := testSet(t)
+	classes, err := IdentityClassMap(len(set.Catalog()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(classes.Classes, Options{Resolution: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := []vm.State{{vm.CPU: 0.5}, {vm.CPU: 0.5}, {}, {}}
+	for i := 0; i < 4; i++ {
+		states[0][vm.CPU] = 0.1 * float64(i+1)
+		states[1] = states[0]
+		_, feats, err := ClassedFeaturesFor(set, vm.CoalitionOf(0, 1), states, classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AddSample(0b001, feats, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Train(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(set, classes, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := symRigClasses(t, plan, states)
+	if _, err := plan.EvalCounts(sym, []int{2, 0, 0}); err != nil {
+		t.Fatalf("trained combo: %v", err)
+	}
+	if _, err := plan.EvalCounts(sym, []int{0, 1, 0}); !errors.Is(err, ErrUntrained) {
+		t.Fatalf("untrained combo err = %v, want ErrUntrained", err)
+	}
+}
+
+// TestEvalCountsZeroAlloc extends the plan's zero-allocation claim to the
+// collapsed evaluator.
+func TestEvalCountsZeroAlloc(t *testing.T) {
+	set, classes, a := trainedRig(t, 0.01, 31)
+	plan, err := NewPlan(set, classes, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([]vm.State, set.Len())
+	for i := range states {
+		states[i] = vm.State{vm.CPU: 0.37, vm.Memory: 0.12, vm.DiskIO: 0.05}
+	}
+	sym := symRigClasses(t, plan, states)
+	tv := []int{2, 1, 1}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := plan.EvalCounts(sym, tv); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("plan.EvalCounts allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestClassedFeaturesRunningMatchesMask pins the wide-set feature builder
+// to the mask form bit for bit on every coalition both can represent.
+func TestClassedFeaturesRunningMatchesMask(t *testing.T) {
+	set := testSet(t)
+	classes, err := IdentityClassMap(len(set.Catalog()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	full := vm.GrandCoalition(set.Len())
+	for trial := 0; trial < 200; trial++ {
+		mask := vm.Coalition(rng.Intn(int(full) + 1))
+		states := make([]vm.State, set.Len())
+		for i := range states {
+			for c := 0; c < int(vm.NumComponents); c++ {
+				states[i][c] = rng.Float64()
+			}
+		}
+		running := make([]bool, set.Len())
+		for i := range running {
+			running[i] = mask.Contains(vm.ID(i))
+		}
+		combo, feats, err := ClassedFeaturesFor(set, mask, states, classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comboR, featsR, err := ClassedFeaturesRunning(set, running, states, classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if combo != comboR {
+			t.Fatalf("mask=%s: combo %s != running combo %s", mask, combo, comboR)
+		}
+		if len(feats) != len(featsR) {
+			t.Fatalf("mask=%s: %d features vs %d", mask, len(feats), len(featsR))
+		}
+		for i := range feats {
+			if feats[i] != featsR[i] {
+				t.Fatalf("mask=%s feature %d: %v != %v", mask, i, feats[i], featsR[i])
+			}
+		}
+	}
+	if _, _, err := ClassedFeaturesRunning(set, make([]bool, 2), make([]vm.State, set.Len()), classes); err == nil {
+		t.Fatal("wrong running length must error")
+	}
+	if _, _, err := ClassedFeaturesRunning(set, make([]bool, set.Len()), make([]vm.State, 1), classes); err == nil {
+		t.Fatal("wrong states length must error")
+	}
+}

@@ -9,7 +9,16 @@ import (
 // MaxPlayers bounds the size of a game so coalitions fit in a uint32
 // bitmask with 2^n enumerable subsets. The paper argues n <= 16 in
 // practice (one VM per logical core on a 16-core Xeon); we allow headroom.
+// VM sets may be larger (up to MaxVMs): beyond MaxPlayers the
+// coalition-bitmask machinery is unavailable and estimation runs through
+// the symmetry-collapsed solver over type-count vectors instead.
 const MaxPlayers = 24
+
+// MaxVMs bounds the size of a VM set. Sets past MaxPlayers cannot be
+// enumerated as bitmasks; they are estimated exactly only when the
+// population collapses into repeated symmetry classes (dense modern
+// hosts run hundreds of VMs drawn from a handful of fixed types).
+const MaxVMs = 512
 
 // Coalition is a subset S of the VM set N, encoded as a bitmask where bit
 // i set means VM i is a member. The zero value is the empty coalition.

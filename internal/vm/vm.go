@@ -170,8 +170,8 @@ func NewSet(catalog Catalog, vms []VM) (*Set, error) {
 	if err := catalog.Validate(); err != nil {
 		return nil, err
 	}
-	if len(vms) > MaxPlayers {
-		return nil, fmt.Errorf("vm: %d VMs exceeds the %d-player limit", len(vms), MaxPlayers)
+	if len(vms) > MaxVMs {
+		return nil, fmt.Errorf("vm: %d VMs exceeds the %d-VM limit", len(vms), MaxVMs)
 	}
 	out := make([]VM, len(vms))
 	for i, v := range vms {

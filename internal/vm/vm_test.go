@@ -168,9 +168,15 @@ func TestNewSetErrors(t *testing.T) {
 	if _, err := NewSet(PaperCatalog(), []VM{{Type: 9}}); err == nil {
 		t.Fatal("want unknown type error")
 	}
-	tooMany := make([]VM, MaxPlayers+1)
+	tooMany := make([]VM, MaxVMs+1)
 	if _, err := NewSet(PaperCatalog(), tooMany); err == nil {
-		t.Fatal("want player-limit error")
+		t.Fatal("want VM-limit error")
+	}
+	// Sets past the coalition-bitmask cap are legal (symmetry-collapsed
+	// estimation handles them); only MaxVMs rejects.
+	wide := make([]VM, MaxPlayers+1)
+	if _, err := NewSet(PaperCatalog(), wide); err != nil {
+		t.Fatalf("set of %d VMs must be allowed: %v", MaxPlayers+1, err)
 	}
 }
 
