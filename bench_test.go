@@ -21,6 +21,7 @@ import (
 	"vmpower/internal/machine"
 	"vmpower/internal/meter"
 	"vmpower/internal/meter/serial"
+	"vmpower/internal/obs"
 	"vmpower/internal/shapley"
 	"vmpower/internal/vhc"
 	"vmpower/internal/vm"
@@ -388,7 +389,7 @@ func BenchmarkOnlineEstimationTick(b *testing.B) {
 // path via DisableWorthPlan for before/after comparison; allocs/op is
 // the headline metric for the compiled plan.
 func BenchmarkEstimateTick(b *testing.B) {
-	run := func(b *testing.B, n int, steady, plan bool) {
+	run := func(b *testing.B, n int, steady, plan, audited bool) {
 		mach, err := machine.New(machine.XeonProfile(), machine.Pack)
 		if err != nil {
 			b.Fatal(err)
@@ -437,27 +438,61 @@ func BenchmarkEstimateTick(b *testing.B) {
 			}
 		}
 		host.SetCoalition(vm.GrandCoalition(n))
+		// audited mirrors a daemon tick with the full provenance layer on:
+		// the invariant auditor runs its in-line checks and the flight
+		// recorder captures the tick, neither of which may add allocs/op
+		// over the bare pipeline.
+		var flight *obs.FlightRecorder
+		var scratch obs.FlightRecord
+		if audited {
+			est.SetAuditor(core.NewAuditor(core.AuditConfig{}, nil))
+			flight = obs.NewFlightRecorder(0, n, int(vm.NumComponents))
+		}
+		record := func(alloc *core.Allocation) {
+			if flight == nil {
+				return
+			}
+			scratch.Tick = alloc.Tick
+			scratch.MeasuredWatts = alloc.MeasuredPower
+			scratch.DynamicWatts = alloc.DynamicPower
+			scratch.Tier = alloc.Prov.Tier
+			scratch.TierReason = alloc.Prov.TierReason
+			scratch.DirtyVMs = alloc.Prov.DirtyVMs
+			scratch.Evaluated = alloc.Prov.Evaluated
+			scratch.Reused = alloc.Prov.Reused
+			scratch.EfficiencyResidualWatts = alloc.Prov.EfficiencyResidualWatts
+			scratch.PerVMWatts = append(scratch.PerVMWatts[:0], alloc.PerVM...)
+			flight.Record(&scratch)
+		}
 		host.Advance(1)
-		if _, err := est.EstimateTick(); err != nil { // warm-up: first tick tabulates in full
+		alloc, err := est.EstimateTick() // warm-up: first tick tabulates in full
+		if err != nil {
 			b.Fatal(err)
 		}
+		record(alloc)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			host.Advance(1)
-			if _, err := est.EstimateTick(); err != nil {
+			alloc, err := est.EstimateTick()
+			if err != nil {
 				b.Fatal(err)
 			}
+			record(alloc)
 		}
 	}
 	for _, n := range []int{8, 16} {
 		for _, regime := range []string{"steady", "alldirty"} {
 			for _, plan := range []bool{true, false} {
 				b.Run(fmt.Sprintf("n=%d/%s/plan=%v", n, regime, plan), func(b *testing.B) {
-					run(b, n, regime == "steady", plan)
+					run(b, n, regime == "steady", plan, false)
 				})
 			}
 		}
+		// The provenance arm: auditor + flight recorder on the plan path.
+		b.Run(fmt.Sprintf("n=%d/steady/plan=true/audited", n), func(b *testing.B) {
+			run(b, n, true, true, true)
+		})
 	}
 
 	// Symmetry-collapsed arms: n VMs in r symmetry classes on the dense

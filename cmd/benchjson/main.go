@@ -20,6 +20,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"vmpower/internal/cliutil"
 )
 
 // Result is one parsed benchmark line.
@@ -93,7 +95,12 @@ func parse(r io.Reader) ([]Result, error) {
 
 func main() {
 	outPath := flag.String("out", "", "write JSON here instead of stdout")
+	version := cliutil.VersionFlag(nil)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "benchjson")
+		return
+	}
 
 	results, err := parse(os.Stdin)
 	if err != nil {

@@ -29,15 +29,20 @@ func main() {
 
 func run() error {
 	var (
-		runIDs = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		seed   = flag.Int64("seed", 1, "random seed")
-		quick  = flag.Bool("quick", false, "shrink tick counts ~8x for a fast pass")
-		csvDir = flag.String("csv", "", "directory to write figure CSVs into")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		verify = flag.Bool("verify", false, "run the calibration-band verification (DESIGN.md §5) and exit non-zero on failure")
-		logCfg = cliutil.LogFlags(nil)
+		runIDs  = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "shrink tick counts ~8x for a fast pass")
+		csvDir  = flag.String("csv", "", "directory to write figure CSVs into")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		verify  = flag.Bool("verify", false, "run the calibration-band verification (DESIGN.md §5) and exit non-zero on failure")
+		logCfg  = cliutil.LogFlags(nil)
+		version = cliutil.VersionFlag(nil)
 	)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "experiments")
+		return nil
+	}
 
 	logger, err := logCfg.Logger(os.Stderr)
 	if err != nil {

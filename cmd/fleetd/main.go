@@ -19,9 +19,11 @@
 //	GET /api/v1/status
 //	GET /api/v1/allocation
 //	GET /api/v1/energy
+//	GET /api/v1/events?since=SEQ  (tick event journal)
 //	GET /healthz
 //	GET /metrics          (Prometheus text format)
 //	GET /metrics.json
+//	GET /debug/flight     (flight-recorder dump; SIGQUIT dumps to stderr)
 //	GET /debug/pprof/*    (with -pprof)
 package main
 
@@ -41,6 +43,7 @@ import (
 	"time"
 
 	"vmpower/internal/cliutil"
+	"vmpower/internal/core"
 	"vmpower/internal/faults"
 	"vmpower/internal/fleet"
 	"vmpower/internal/fleetd"
@@ -60,24 +63,30 @@ const defaultVMs = "web1:xlarge:acme:gcc,web2:xlarge:acme:gobmk,db1:large:acme:s
 
 func run() error {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7078", "HTTP listen address")
-		hosts    = flag.Int("hosts", 3, "physical machines in the pool")
-		vmsFlag  = flag.String("vms", defaultVMs, "comma list of name:type:tenant[:workload] VM specs")
-		interval = flag.Duration("interval", time.Second, "fleet tick interval")
-		seed     = flag.Int64("seed", 1, "random seed")
-		par      = flag.Int("parallelism", 0, "host estimation workers (0 = all cores, 1 = serial); ticks are identical at any setting")
-		probe    = flag.Int("probe", 5, "readmission probe cadence for quarantined hosts, in ticks (negative disables)")
-		holdover = flag.Int("holdover", 10, "serve a host from its last good meter sample for up to this many ticks during an outage (negative disables)")
-		stuckAt  = flag.Int("stuck-threshold", 0, "reject a reading repeated this many times in a row as a stuck meter (0 disables)")
-		noise    = flag.Float64("meter-noise", 0.25, "wall meter Gaussian sigma in watts (0 = noiseless)")
-		calib    = flag.Int("calibration-ticks", 0, "per-combination offline sample count (0 = default)")
-		fHost    = flag.Int("fault-host", 0, "host index the -fault-* injector wraps")
-		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
-		smoke    = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a few ticks, scrape /healthz and /metrics, exit")
-		logCfg   = cliutil.LogFlags(nil)
-		faultCfg = cliutil.FaultFlags(nil)
+		listen    = flag.String("listen", "127.0.0.1:7078", "HTTP listen address")
+		hosts     = flag.Int("hosts", 3, "physical machines in the pool")
+		vmsFlag   = flag.String("vms", defaultVMs, "comma list of name:type:tenant[:workload] VM specs")
+		interval  = flag.Duration("interval", time.Second, "fleet tick interval")
+		seed      = flag.Int64("seed", 1, "random seed")
+		par       = flag.Int("parallelism", 0, "host estimation workers (0 = all cores, 1 = serial); ticks are identical at any setting")
+		probe     = flag.Int("probe", 5, "readmission probe cadence for quarantined hosts, in ticks (negative disables)")
+		holdover  = flag.Int("holdover", 10, "serve a host from its last good meter sample for up to this many ticks during an outage (negative disables)")
+		stuckAt   = flag.Int("stuck-threshold", 0, "reject a reading repeated this many times in a row as a stuck meter (0 disables)")
+		noise     = flag.Float64("meter-noise", 0.25, "wall meter Gaussian sigma in watts (0 = noiseless)")
+		calib     = flag.Int("calibration-ticks", 0, "per-combination offline sample count (0 = default)")
+		fHost     = flag.Int("fault-host", 0, "host index the -fault-* injector wraps")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		smoke     = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a few ticks, scrape /healthz, /metrics and /api/v1/events, exit")
+		auditDeep = flag.Int("audit-deep", 60, "re-solve every Nth host tick through the alternate exact path and compare (0 disables deep checks; the cheap per-tick audit always runs)")
+		version   = cliutil.VersionFlag(nil)
+		logCfg    = cliutil.LogFlags(nil)
+		faultCfg  = cliutil.FaultFlags(nil)
 	)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "fleetd")
+		return nil
+	}
 
 	logger, err := logCfg.Logger(os.Stderr)
 	if err != nil {
@@ -149,6 +158,7 @@ func run() error {
 	}
 	reg := obs.NewRegistry()
 	srv.Instrument(reg, logger, *interval)
+	srv.EnableAudit(core.AuditConfig{DeepEvery: *auditDeep})
 
 	if injector != nil {
 		injector.SetArmed(true)
@@ -163,6 +173,11 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGQUIT dumps the flight recorder to stderr without exiting.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	defer signal.Stop(quitCh)
 
 	var handler http.Handler = srv.Handler()
 	if *pprofOn {
@@ -195,6 +210,11 @@ func run() error {
 			return httpSrv.Shutdown(shutdownCtx)
 		case err := <-errCh:
 			return err
+		case <-quitCh:
+			logger.Warn("SIGQUIT: dumping flight recorder to stderr")
+			if err := srv.DumpFlight(os.Stderr, "SIGQUIT"); err != nil {
+				logger.Error("flight dump failed", "err", err)
+			}
 		case <-ticker.C:
 			_, err := srv.Step()
 			if injector != nil {
@@ -211,8 +231,10 @@ func run() error {
 }
 
 // runSmoke is the CI self-test: serve on an ephemeral loopback port, run
-// a handful of ticks as fast as they complete, then scrape /healthz and
-// /metrics and verify the fleet surface is present.
+// a handful of ticks as fast as they complete, then scrape /healthz,
+// /metrics and /api/v1/events and verify the fleet surface is present —
+// including a full Prometheus-exposition lint of the /metrics body, so a
+// malformed family or duplicate series fails CI instead of a scraper.
 func runSmoke(srv *fleetd.Server, injector *faults.Meter, logger *obs.Logger) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -254,9 +276,31 @@ func runSmoke(srv *fleetd.Server, injector *faults.Meter, logger *obs.Logger) er
 		"vmpower_fleet_ticks_total 10",
 		"vmpower_fleet_tenant_watts",
 		"vmpower_fleet_tick_duration_seconds_bucket",
+		"vmpower_build_info{",
+		"vmpower_fleet_audit_checks_total 10",
+		"vmpower_audit_checks_total",
+		"vmpower_tick_skew_seconds",
 	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("smoke: /metrics missing %q", want)
+		}
+	}
+	if problems := obs.LintExposition(strings.NewReader(metrics)); len(problems) > 0 {
+		return fmt.Errorf("smoke: /metrics exposition lint: %s", strings.Join(problems, "; "))
+	}
+	if !strings.Contains(metrics, "vmpower_fleet_audit_violations_total 0") {
+		return fmt.Errorf("smoke: fleet conservation violations reported:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "vmpower_audit_violations_total 0") {
+		return fmt.Errorf("smoke: per-tick audit violations reported:\n%s", metrics)
+	}
+	events, err := scrape(base + "/api/v1/events?since=0")
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	for _, want := range []string{`"since"`, `"next"`, `"events"`} {
+		if !strings.Contains(events, want) {
+			return fmt.Errorf("smoke: /api/v1/events missing %s: %s", want, events)
 		}
 	}
 	logger.Info("smoke ok", "addr", base, "healthz", strings.TrimSpace(health))

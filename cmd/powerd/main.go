@@ -14,9 +14,11 @@
 //	GET /api/v1/allocation
 //	GET /api/v1/history?n=K
 //	GET /api/v1/energy
+//	GET /api/v1/events?since=SEQ  (tick event journal)
 //	GET /healthz
 //	GET /metrics          (Prometheus text format)
 //	GET /metrics.json
+//	GET /debug/flight     (flight-recorder dump; SIGQUIT dumps to stderr)
 //	GET /debug/pprof/*    (with -pprof)
 package main
 
@@ -65,10 +67,16 @@ func run() error {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		holdover  = flag.Int("holdover", 10, "serve from the last good meter sample for up to this many ticks during an outage (negative disables)")
 		stuckAt   = flag.Int("stuck-threshold", 0, "reject a reading repeated this many times in a row as a stuck meter (0 disables)")
+		auditDeep = flag.Int("audit-deep", 60, "re-solve every Nth tick through the alternate exact path and compare (0 disables deep checks; the cheap per-tick audit always runs)")
+		version   = cliutil.VersionFlag(nil)
 		logCfg    = cliutil.LogFlags(nil)
 		faultCfg  = cliutil.FaultFlags(nil)
 	)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "powerd")
+		return nil
+	}
 
 	logger, err := logCfg.Logger(os.Stderr)
 	if err != nil {
@@ -188,6 +196,7 @@ func run() error {
 	}
 	reg := obs.NewRegistry()
 	srv.Instrument(reg, logger, *interval)
+	srv.EnableAudit(core.AuditConfig{DeepEvery: *auditDeep})
 
 	if injector != nil {
 		injector.SetArmed(true)
@@ -211,6 +220,12 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGQUIT dumps the flight recorder to stderr without exiting — the
+	// classic "what were the last few minutes" post-mortem trigger.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	defer signal.Stop(quitCh)
+
 	httpSrv := &http.Server{Addr: *listen, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	errCh := make(chan error, 1)
 	go func() {
@@ -230,6 +245,11 @@ func run() error {
 			return httpSrv.Shutdown(shutdownCtx)
 		case err := <-errCh:
 			return err
+		case <-quitCh:
+			logger.Warn("SIGQUIT: dumping flight recorder to stderr")
+			if err := srv.DumpFlight(os.Stderr, "SIGQUIT"); err != nil {
+				logger.Error("flight dump failed", "err", err)
+			}
 		case <-ticker.C:
 			_, err := srv.Step()
 			if injector != nil {

@@ -46,10 +46,15 @@ func run() error {
 		csv         = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		record      = flag.String("record", "", "write a replay trace (JSON lines) to this file; feed it to vmbill -replay")
 		par         = flag.Int("parallelism", 0, "Shapley engine workers (0 = all cores, 1 = serial); allocations are identical at any setting")
+		version     = cliutil.VersionFlag(nil)
 		logCfg      = cliutil.LogFlags(nil)
 		faultCfg    = cliutil.FaultFlags(nil)
 	)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "powersim")
+		return nil
+	}
 
 	logger, err := logCfg.Logger(os.Stderr)
 	if err != nil {

@@ -46,8 +46,13 @@ func run() error {
 		replayPath = flag.String("replay", "", "bill a recorded trace (from powersim -record) instead of simulating workloads; -tenants must match the trace's VM layout")
 		tou        = flag.Bool("tou", false, "bill under a time-of-use tariff (peak 16-21h at ~2x) instead of the flat -price")
 		startHour  = flag.Int("start-hour", 14, "hour of day the rental period starts (used with -tou)")
+		version    = cliutil.VersionFlag(nil)
 	)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "vmbill")
+		return nil
+	}
 
 	type tenant struct {
 		name  string

@@ -1,5 +1,6 @@
-// Package cliutil holds the small parsing helpers the command-line tools
-// share: VM and tenant spec lists in the name:type[:benchmark] format.
+// Package cliutil holds the small helpers the command-line tools share:
+// VM and tenant spec lists in the name:type[:benchmark] format, log and
+// fault-injection flag blocks, and version reporting (see version.go).
 package cliutil
 
 import (

@@ -1,0 +1,52 @@
+// This file is the shared version surface: the -version flag, the
+// printed banner and the vmpower_build_info metric, implemented once so
+// the binaries cannot drift apart.
+
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+
+	"vmpower/internal/obs"
+)
+
+// version is the release string stamped into every binary. Override at
+// link time with:
+//
+//	go build -ldflags "-X vmpower/internal/cliutil.version=v1.2.3"
+var version = "0.7.0"
+
+// Version returns the release string.
+func Version() string { return version }
+
+// VersionFlag registers the standard -version flag on fs (the default
+// flag.CommandLine when nil) and returns the destination. Callers check
+// it right after flag.Parse and exit via PrintVersion when set.
+func VersionFlag(fs *flag.FlagSet) *bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.Bool("version", false, "print version and exit")
+}
+
+// PrintVersion writes the one-line version banner for a binary.
+func PrintVersion(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s %s (%s)\n", binary, version, runtime.Version())
+}
+
+// BuildInfoMetric registers the conventional constant-1 build-info gauge
+//
+//	vmpower_build_info{version="...",go="..."} 1
+//
+// on reg, so every scrape identifies exactly which build produced it.
+func BuildInfoMetric(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("vmpower_build_info",
+		"constant 1, labeled with the build's version and Go runtime",
+		obs.L("version", version), obs.L("go", runtime.Version())).Set(1)
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vmpower/internal/hypervisor"
+	"vmpower/internal/vm"
+)
+
+// AuditConfig tunes the invariant auditor. The zero value gives the
+// defaults below.
+type AuditConfig struct {
+	// EfficiencyTol is the relative Efficiency tolerance: a tick violates
+	// when |Σφ − dyn| > EfficiencyTol × max(1, dyn) watts. Default 1e-6.
+	// Monte-Carlo ticks get 100× slack — their φ still telescopes to the
+	// grand worth per sampled permutation, but the float error of
+	// millions of accumulated marginals is larger than an exact solve's.
+	EfficiencyTol float64
+	// ShareMargin widens the per-VM plausibility band: every share must
+	// fall in [−m·s, dyn + m·s] where s = max(1, dyn) and m is the
+	// margin. Exact Shapley shares can go slightly negative under
+	// interference, but a share far below zero or above the whole
+	// dynamic draw is an engine bug, not physics. Default 0.5.
+	ShareMargin float64
+	// DeepEvery is the sampled deep-check cadence: every DeepEvery-th
+	// audited tick that was solved exactly is re-solved through the
+	// alternate exact path (the legacy mask enumeration — which checks
+	// sym-vs-mask when the collapsed solver served the tick, and
+	// plan-vs-legacy otherwise) and compared per-VM. 0 disables deep
+	// checks. Each deep check costs one full 2^n solve.
+	DeepEvery int
+	// DeepTol is the per-VM deep-check tolerance, relative like
+	// EfficiencyTol. Default 1e-9 (the documented sym≡mask equivalence
+	// bound; the plan path is bit-identical to legacy).
+	DeepTol float64
+}
+
+func (c AuditConfig) withDefaults() AuditConfig {
+	if c.EfficiencyTol <= 0 {
+		c.EfficiencyTol = 1e-6
+	}
+	if c.ShareMargin <= 0 {
+		c.ShareMargin = 0.5
+	}
+	if c.DeepTol <= 0 {
+		c.DeepTol = 1e-9
+	}
+	return c
+}
+
+// AuditViolation is one invariant failure, delivered to the auditor's
+// callback. Violations never abort the tick: the allocation has already
+// been produced and the operator needs it served and flagged, not
+// withheld.
+type AuditViolation struct {
+	Tick int
+	// Kind is "efficiency", "share-bound", "non-finite" or
+	// "deep-mismatch".
+	Kind   string
+	Detail string
+}
+
+// Auditor runs in-line invariant checks on every successful tick plus a
+// sampled deep re-solve, publishing vmpower_audit_* metrics and invoking
+// the violation callback. It is owned by the estimation goroutine (same
+// single-goroutine contract as EstimateTickSpan); the callback fires
+// synchronously from that goroutine.
+type Auditor struct {
+	cfg         AuditConfig
+	onViolation func(AuditViolation)
+	ticks       uint64 // audited ticks, drives the deep cadence
+}
+
+// NewAuditor builds an auditor. onViolation (nil is fine) is invoked
+// synchronously for each violation.
+func NewAuditor(cfg AuditConfig, onViolation func(AuditViolation)) *Auditor {
+	return &Auditor{cfg: cfg.withDefaults(), onViolation: onViolation}
+}
+
+// violate records one violation on the tick's provenance, the package
+// metrics and the callback. Violations are rare, so the formatted detail
+// may allocate.
+func (a *Auditor) violate(alloc *Allocation, kind, detail string) {
+	alloc.Prov.AuditViolations++
+	metrics().noteAuditViolation()
+	if a.onViolation != nil {
+		a.onViolation(AuditViolation{Tick: alloc.Tick, Kind: kind, Detail: detail})
+	}
+}
+
+// audit runs the per-tick checks. The in-line pass is allocation-free
+// and O(n): the Efficiency residual and per-VM plausibility bounds. The
+// deep pass re-solves the tick through the alternate exact path every
+// DeepEvery audited ticks.
+func (a *Auditor) audit(e *Estimator, snap hypervisor.Snapshot, alloc *Allocation) {
+	a.ticks++
+	dyn := alloc.DynamicPower
+	scale := dyn
+	if scale < 1 {
+		scale = 1
+	}
+
+	// Efficiency: the shares must sum to the dynamic power the meter
+	// implied — the axiom a tenant's bill rests on.
+	var sum float64
+	for _, p := range alloc.PerVM {
+		sum += p
+	}
+	residual := math.Abs(sum - dyn)
+	alloc.Prov.EfficiencyResidualWatts = residual
+	tol := a.cfg.EfficiencyTol * scale
+	if alloc.Method == "montecarlo" {
+		tol *= 100
+	}
+	if math.IsNaN(residual) || residual > tol {
+		a.violate(alloc, "efficiency",
+			fmt.Sprintf("|Σφ−dyn| = %g W exceeds %g W (Σφ=%g, dyn=%g, tier=%s)",
+				residual, tol, sum, dyn, alloc.Prov.Tier))
+	}
+
+	// Plausibility: every share finite and inside the interference band.
+	lo := -a.cfg.ShareMargin * scale
+	hi := dyn + a.cfg.ShareMargin*scale
+	for i, p := range alloc.PerVM {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			a.violate(alloc, "non-finite", fmt.Sprintf("φ[%d] = %g", i, p))
+			continue
+		}
+		if p < lo || p > hi {
+			a.violate(alloc, "share-bound",
+				fmt.Sprintf("φ[%d] = %g W outside [%g, %g]", i, p, lo, hi))
+		}
+	}
+
+	metrics().noteAudit(residual)
+
+	if a.cfg.DeepEvery <= 0 || a.ticks%uint64(a.cfg.DeepEvery) != 0 {
+		return
+	}
+	a.deepCheck(e, snap, alloc, scale)
+}
+
+// deepCheck re-solves an exactly-solved tick through the pure legacy
+// mask path (Estimate: ClassedFeaturesFor worths + full 2^n tabulation)
+// and compares per-VM shares. When the symmetry-collapsed solver served
+// the tick this is the sym-vs-mask equivalence; otherwise it is
+// plan-vs-legacy. Monte-Carlo and fallback ticks have no exact alternate
+// and are skipped, as are sets past the mask limit (no alternate exists
+// there at all).
+func (a *Auditor) deepCheck(e *Estimator, snap hypervisor.Snapshot, alloc *Allocation, scale float64) {
+	n := len(alloc.PerVM)
+	if alloc.Method != "exact" || n > e.cfg.ExactMaxPlayers || n > vm.MaxPlayers {
+		return
+	}
+	alt, err := e.Estimate(snap, alloc.MeasuredPower)
+	metrics().noteAuditDeep()
+	if err != nil {
+		a.violate(alloc, "deep-mismatch", fmt.Sprintf("alternate exact solve failed: %v", err))
+		metrics().noteAuditDeepMismatch()
+		return
+	}
+	var maxDelta float64
+	worst := -1
+	for i := range alloc.PerVM {
+		d := math.Abs(alloc.PerVM[i] - alt.PerVM[i])
+		if d > maxDelta {
+			maxDelta, worst = d, i
+		}
+	}
+	alloc.Prov.DeepChecked = true
+	alloc.Prov.DeepMaxDeltaWatts = maxDelta
+	if maxDelta > a.cfg.DeepTol*scale {
+		a.violate(alloc, "deep-mismatch",
+			fmt.Sprintf("tier %s diverges from the mask path by %g W at VM %d (tol %g)",
+				alloc.Prov.Tier, maxDelta, worst, a.cfg.DeepTol*scale))
+		metrics().noteAuditDeepMismatch()
+	}
+}

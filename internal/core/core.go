@@ -216,6 +216,60 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Solver tiers, as recorded in Provenance.Tier: the 2^n mask-exact
+// path, the symmetry-collapsed exact path, Monte-Carlo sampling, and the
+// degraded-mode fallback split.
+const (
+	TierMaskExact  = "exact-mask"
+	TierSymExact   = "exact-sym"
+	TierMonteCarlo = "montecarlo"
+	TierFallback   = "fallback"
+)
+
+// Tier-gate reasons. Constant strings only: the hot path writes them
+// into Provenance without allocating.
+const (
+	reasonNoRunning   = "no running VMs"
+	reasonMaskBudget  = "within exact mask budget; no profitable symmetry collapse"
+	reasonSymDisabled = "symmetry collapse disabled; within exact mask budget"
+	reasonSymCollapse = "running VMs collapse into symmetry classes within the vector budget"
+	reasonMCPlayers   = "player count beyond the exact budget"
+	reasonLegacyPlan  = "worth plan unavailable; legacy per-coalition path"
+	reasonFallback    = "solver/worth failure; fallback policy split"
+)
+
+// Provenance records how a tick's allocation was produced: the solver
+// tier and why the gate picked it, the incremental solve's shape, and
+// the invariant auditor's verdict. It is filled on every tick with
+// value-typed fields and constant reason strings, so carrying it costs
+// the hot path nothing; the flight recorder and the tick event journal
+// are built from it.
+type Provenance struct {
+	// Tier is the solver tier that produced PerVM (Tier* constants);
+	// TierReason says why the gate picked it.
+	Tier       string
+	TierReason string
+	// DirtyVMs counts the solve units (VMs on the mask path, symmetry
+	// classes on the collapsed path) whose state changed since the
+	// previous tick; Evaluated and Reused count worth-table entries
+	// re-evaluated vs reused verbatim; FullTabulation marks a tick that
+	// rebuilt the whole table (first tick, running-set change, new plan).
+	// All zero on Monte-Carlo and fallback ticks.
+	DirtyVMs       int
+	Evaluated      int
+	Reused         int
+	FullTabulation bool
+	// EfficiencyResidualWatts is |Σφ − dynamic| as measured by the
+	// invariant auditor; AuditViolations counts this tick's violations;
+	// DeepChecked marks a tick re-solved through the alternate exact
+	// path, with DeepMaxDeltaWatts the largest per-VM divergence. All
+	// zero when no auditor is installed.
+	EfficiencyResidualWatts float64
+	AuditViolations         int
+	DeepChecked             bool
+	DeepMaxDeltaWatts       float64
+}
+
 // Allocation is one tick's per-VM power disaggregation.
 type Allocation struct {
 	// Tick is the host clock when the states were collected.
@@ -258,6 +312,8 @@ type Allocation struct {
 	// RejectedSamples counts implausible meter readings (non-finite,
 	// out-of-band, stuck-at) discarded while producing this tick.
 	RejectedSamples int
+	// Prov is the tick's solver/audit provenance.
+	Prov Provenance
 }
 
 // Total returns VM id's total attributed power (dynamic + idle share).
@@ -299,6 +355,16 @@ type Estimator struct {
 	planTried bool
 	scratch   tickScratch
 	sym       symScratch
+
+	// planCompiles / planCompileErrors count ensurePlan outcomes for this
+	// estimator, so a daemon can diff them per tick and journal
+	// recompiles without touching the package-level metrics.
+	planCompiles      uint64
+	planCompileErrors uint64
+
+	// auditor, when installed, runs the per-tick invariant checks at the
+	// end of EstimateTickSpan. Owned by the estimation goroutine.
+	auditor *Auditor
 }
 
 // tickScratch is the buffer set the plan-based exact path reuses across
@@ -700,7 +766,23 @@ func (e *Estimator) EstimateTickSpan(sp *obs.Span) (*Allocation, error) {
 		alloc.HoldoverAgeTicks = rd.age
 	}
 	alloc.RejectedSamples = rd.rejected
+	if e.auditor != nil {
+		e.auditor.audit(e, snap, alloc)
+	}
 	return alloc, nil
+}
+
+// SetAuditor installs (or, with nil, removes) the invariant auditor
+// EstimateTickSpan runs at the end of every successful tick. Like
+// SetMeter, not safe concurrently with estimation; install before the
+// serve loop starts.
+func (e *Estimator) SetAuditor(a *Auditor) { e.auditor = a }
+
+// PlanCompileStats returns this estimator's cumulative worth-plan
+// compile counts (successes, failures), so a daemon can diff them across
+// ticks and journal recompiles.
+func (e *Estimator) PlanCompileStats() (compiles, compileErrors uint64) {
+	return e.planCompiles, e.planCompileErrors
 }
 
 // fallbackAllocation serves the degraded-mode split after a solver or
@@ -727,6 +809,8 @@ func (e *Estimator) fallbackAllocation(snap hypervisor.Snapshot, measuredTotal f
 		Degraded:       true,
 		DegradedReason: fmt.Sprintf("fallback(%s): %v", e.cfg.Fallback, cause),
 	}
+	alloc.Prov.Tier = TierFallback
+	alloc.Prov.TierReason = reasonFallback
 	members := e.runningMembers(snap)
 	if len(members) == 0 {
 		return e.attributeIdle(alloc, members), nil
@@ -804,6 +888,8 @@ func (e *Estimator) estimateSpan(snap hypervisor.Snapshot, measuredTotal float64
 	}
 	if running.IsEmpty() {
 		alloc.Method = "exact"
+		alloc.Prov.Tier = TierMaskExact
+		alloc.Prov.TierReason = reasonNoRunning
 		return e.attributeIdle(alloc, nil), nil
 	}
 
@@ -813,6 +899,10 @@ func (e *Estimator) estimateSpan(snap hypervisor.Snapshot, measuredTotal float64
 	var err error
 	if n <= e.cfg.ExactMaxPlayers {
 		alloc.Method = "exact"
+		alloc.Prov.Tier = TierMaskExact
+		alloc.Prov.TierReason = reasonLegacyPlan
+		alloc.Prov.Evaluated = 1 << uint(n)
+		alloc.Prov.FullTabulation = true
 		var table []float64
 		table, err = shapley.TabulateParallel(n, worth, e.cfg.Parallelism)
 		if err == nil {
@@ -821,6 +911,8 @@ func (e *Estimator) estimateSpan(snap hypervisor.Snapshot, measuredTotal float64
 		}
 	} else {
 		alloc.Method = "montecarlo"
+		alloc.Prov.Tier = TierMonteCarlo
+		alloc.Prov.TierReason = reasonMCPlayers
 		var res *shapley.MCResult
 		res, err = shapley.MonteCarlo(n, worth, shapley.MCOptions{
 			Permutations: e.cfg.MCPermutations,
@@ -918,11 +1010,13 @@ func (e *Estimator) ensurePlan() *vhc.Plan {
 	if err != nil {
 		e.plan = nil
 		e.planEpoch = epoch
+		e.planCompileErrors++
 		metrics().notePlanCompileError()
 		return nil
 	}
 	e.plan = p
 	e.planEpoch = p.Epoch()
+	e.planCompiles++
 	metrics().notePlanCompile()
 	return p
 }
@@ -1008,6 +1102,8 @@ func (e *Estimator) estimateTick(snap hypervisor.Snapshot, measuredTotal float64
 	if len(members) == 0 {
 		alloc.Method = "exact"
 		alloc.PerVM = make([]float64, n)
+		alloc.Prov.Tier = TierMaskExact
+		alloc.Prov.TierReason = reasonNoRunning
 		return e.attributeIdle(alloc, members), nil
 	}
 
@@ -1038,12 +1134,20 @@ func (e *Estimator) estimateTick(snap hypervisor.Snapshot, measuredTotal float64
 	var err error
 	if n <= e.cfg.ExactMaxPlayers {
 		alloc.Method = "exact"
-		err = e.exactIncremental(plan, snap, worth, dyn, n, sp)
+		alloc.Prov.Tier = TierMaskExact
+		if e.cfg.DisableSymmetry {
+			alloc.Prov.TierReason = reasonSymDisabled
+		} else {
+			alloc.Prov.TierReason = reasonMaskBudget
+		}
+		err = e.exactIncremental(plan, snap, worth, dyn, n, sp, alloc)
 		if err == nil {
 			phi = append(make([]float64, 0, n), e.scratch.phi...)
 		}
 	} else {
 		alloc.Method = "montecarlo"
+		alloc.Prov.Tier = TierMonteCarlo
+		alloc.Prov.TierReason = reasonMCPlayers
 		var res *shapley.MCResult
 		res, err = shapley.MonteCarlo(n, worth, shapley.MCOptions{
 			Permutations: e.cfg.MCPermutations,
@@ -1082,7 +1186,7 @@ func (e *Estimator) estimateTick(snap hypervisor.Snapshot, measuredTotal float64
 // Everything else (2^n − 2^(n−d) of the table for d dirty VMs) is reused
 // verbatim, which is exact because worths are pure functions of their
 // members' states. φ lands in e.scratch.phi.
-func (e *Estimator) exactIncremental(plan *vhc.Plan, snap hypervisor.Snapshot, worth shapley.WorthFunc, dyn float64, n int, sp *obs.Span) error {
+func (e *Estimator) exactIncremental(plan *vhc.Plan, snap hypervisor.Snapshot, worth shapley.WorthFunc, dyn float64, n int, sp *obs.Span, alloc *Allocation) error {
 	ts := &e.scratch
 	size := 1 << uint(n)
 	running := snap.Coalition
@@ -1112,7 +1216,10 @@ func (e *Estimator) exactIncremental(plan *vhc.Plan, snap hypervisor.Snapshot, w
 				break
 			}
 		}
-		m.notePlanTick(dirty.Size(), size-(size>>uint(dirty.Size())), size>>uint(dirty.Size()), false)
+		alloc.Prov.DirtyVMs = dirty.Size()
+		alloc.Prov.Evaluated = size - (size >> uint(dirty.Size()))
+		alloc.Prov.Reused = size >> uint(dirty.Size())
+		m.notePlanTick(alloc.Prov.DirtyVMs, alloc.Prov.Evaluated, alloc.Prov.Reused, false)
 	} else {
 		// Full tabulation: first tick, running-set change, or new plan.
 		if len(ts.table) != size {
@@ -1128,6 +1235,9 @@ func (e *Estimator) exactIncremental(plan *vhc.Plan, snap hypervisor.Snapshot, w
 		if err := shapley.TabulateParallelInto(ts.table, n, worth, e.cfg.Parallelism); err != nil {
 			return err
 		}
+		alloc.Prov.DirtyVMs = running.Size()
+		alloc.Prov.Evaluated = size
+		alloc.Prov.FullTabulation = true
 		m.notePlanTick(running.Size(), size, 0, true)
 	}
 	sp.Mark("worth")

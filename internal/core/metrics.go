@@ -40,6 +40,19 @@ type Metrics struct {
 	SymClasses          *obs.Gauge
 	SymVectorsEvaluated *obs.Counter
 	SymVectorsReused    *obs.Counter
+	// AuditChecks counts audited ticks; AuditViolations counts invariant
+	// failures (Efficiency, plausibility, deep mismatch) — nonzero means a
+	// bill cannot be trusted (vmpower_audit_{checks,violations}_total).
+	AuditChecks     *obs.Counter
+	AuditViolations *obs.Counter
+	// AuditDeepChecks / AuditDeepMismatches count sampled alternate-path
+	// re-solves and the ones that diverged beyond tolerance
+	// (vmpower_audit_deep_{checks,mismatches}_total).
+	AuditDeepChecks     *obs.Counter
+	AuditDeepMismatches *obs.Counter
+	// AuditEfficiencyResidual is |Σφ − dyn| of the last audited tick in
+	// watts (vmpower_audit_efficiency_residual).
+	AuditEfficiencyResidual *obs.Gauge
 }
 
 // pkgMetrics is swapped atomically so Instrument may run while ticks are
@@ -77,6 +90,16 @@ func Instrument(reg *obs.Registry) {
 			"collapsed worth-table entries (re-)evaluated by symmetry ticks"),
 		SymVectorsReused: reg.Counter("vmpower_sym_vectors_reused_total",
 			"collapsed worth-table entries reused verbatim across ticks"),
+		AuditChecks: reg.Counter("vmpower_audit_checks_total",
+			"ticks checked by the invariant auditor"),
+		AuditViolations: reg.Counter("vmpower_audit_violations_total",
+			"invariant violations (efficiency, share bounds, deep mismatches)"),
+		AuditDeepChecks: reg.Counter("vmpower_audit_deep_checks_total",
+			"sampled deep re-solves through the alternate exact path"),
+		AuditDeepMismatches: reg.Counter("vmpower_audit_deep_mismatches_total",
+			"deep re-solves that diverged beyond tolerance"),
+		AuditEfficiencyResidual: reg.Gauge("vmpower_audit_efficiency_residual",
+			"|sum(phi) - dynamic| of the last audited tick (watts)"),
 	})
 }
 
@@ -107,6 +130,36 @@ func (m *Metrics) noteSymTick(classes, evaluated, reused int) {
 	m.SymClasses.Set(float64(classes))
 	m.SymVectorsEvaluated.Add(uint64(evaluated))
 	m.SymVectorsReused.Add(uint64(reused))
+}
+
+// noteAudit publishes one audited tick and its Efficiency residual.
+func (m *Metrics) noteAudit(residual float64) {
+	if m == nil {
+		return
+	}
+	m.AuditChecks.Inc()
+	m.AuditEfficiencyResidual.Set(residual)
+}
+
+func (m *Metrics) noteAuditViolation() {
+	if m == nil {
+		return
+	}
+	m.AuditViolations.Inc()
+}
+
+func (m *Metrics) noteAuditDeep() {
+	if m == nil {
+		return
+	}
+	m.AuditDeepChecks.Inc()
+}
+
+func (m *Metrics) noteAuditDeepMismatch() {
+	if m == nil {
+		return
+	}
+	m.AuditDeepMismatches.Inc()
 }
 
 // notePlanTick publishes one plan-served exact tick's cache behaviour.

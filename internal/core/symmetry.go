@@ -229,7 +229,7 @@ func (e *Estimator) symTick(plan *vhc.Plan, snap hypervisor.Snapshot, members []
 		return p
 	}
 
-	evaluated, reused := v, 0
+	evaluated, reused, dirtyClasses, full := v, 0, k, true
 	if s.prevValid && s.prevPlan == plan && symAligned(s.prev, classes) {
 		// Incremental tick: only vectors touching a class whose shared
 		// state changed need re-evaluation; the rest describe coalitions
@@ -238,9 +238,14 @@ func (e *Estimator) symTick(plan *vhc.Plan, snap hypervisor.Snapshot, members []
 			s.dirty = make([]bool, k)
 		}
 		s.dirty = s.dirty[:k]
+		dirtyClasses = 0
 		for j := range s.dirty {
 			s.dirty[j] = s.prev[j].State != classes[j].State
+			if s.dirty[j] {
+				dirtyClasses++
+			}
 		}
+		full = false
 		var err error
 		evaluated, err = shapley.SymRetabulateInto(s.table, &s.sc, worth, s.dirty)
 		if err != nil {
@@ -276,6 +281,12 @@ func (e *Estimator) symTick(plan *vhc.Plan, snap hypervisor.Snapshot, members []
 	}
 	alloc.Method = "exact"
 	alloc.SymmetryClasses = k
+	alloc.Prov.Tier = TierSymExact
+	alloc.Prov.TierReason = reasonSymCollapse
+	alloc.Prov.DirtyVMs = dirtyClasses
+	alloc.Prov.Evaluated = evaluated
+	alloc.Prov.Reused = reused
+	alloc.Prov.FullTabulation = full
 
 	s.prev = append(s.prev[:0], classes...)
 	s.prevPlan = plan

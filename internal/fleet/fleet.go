@@ -143,6 +143,9 @@ type HostStatus struct {
 	// fleet totals this tick (zero for quarantined hosts).
 	MeasuredWatts float64
 	DynamicWatts  float64
+	// Tier is the solver tier that produced the host's allocation
+	// (core.TierMaskExact and friends; "" for quarantined hosts).
+	Tier string
 	// VMs are the names placed on this host, in request order.
 	VMs []string
 }
@@ -500,8 +503,89 @@ func (f *Fleet) hostStatus(i int, a *core.Allocation) HostStatus {
 		hs.RejectedSamples = a.RejectedSamples
 		hs.MeasuredWatts = a.MeasuredPower
 		hs.DynamicWatts = a.DynamicPower
+		hs.Tier = a.Prov.Tier
 	}
 	return hs
+}
+
+// EnableAudit attaches one invariant auditor (see core.Auditor) to every
+// host's estimator. onViolation (nil is fine) receives the host index
+// alongside the violation; with Parallelism > 1 it may fire from worker
+// goroutines concurrently, so it must be safe for concurrent use. Call
+// between construction and stepping.
+func (f *Fleet) EnableAudit(cfg core.AuditConfig, onViolation func(host int, v core.AuditViolation)) {
+	for i, est := range f.estimators {
+		host := i
+		var cb func(core.AuditViolation)
+		if onViolation != nil {
+			cb = func(v core.AuditViolation) { onViolation(host, v) }
+		}
+		est.SetAuditor(core.NewAuditor(cfg, cb))
+	}
+}
+
+// AuditConservation cross-checks a Tick's rollups against each other and
+// returns one message per violated identity (nil when conserved):
+// Σ PerVM = DynamicTotal, Σ PerTenant = Σ PerVM, each host's shares sum
+// to its DynamicWatts, and every VM is either accounted or listed in
+// Unaccounted with a quarantined host — exactly one of the two. tol is
+// the absolute slack in watts per comparison (<= 0 uses 1e-6, generous
+// against float summation order but far below any real share).
+func (f *Fleet) AuditConservation(t *Tick, tol float64) []string {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	var sumVM float64
+	for _, w := range t.PerVM {
+		sumVM += w
+	}
+	if d := sumVM - t.DynamicTotal; d > tol || d < -tol {
+		bad("sum(PerVM) = %g W, DynamicTotal = %g W (delta %g)", sumVM, t.DynamicTotal, d)
+	}
+	var sumTenant float64
+	for _, w := range t.PerTenant {
+		sumTenant += w
+	}
+	if d := sumTenant - sumVM; d > tol || d < -tol {
+		bad("sum(PerTenant) = %g W, sum(PerVM) = %g W (delta %g)", sumTenant, sumVM, d)
+	}
+
+	unaccounted := make(map[string]bool, len(t.Unaccounted))
+	for _, name := range t.Unaccounted {
+		unaccounted[name] = true
+	}
+	for _, hs := range t.Hosts {
+		var hostSum float64
+		accounted := 0
+		for _, name := range hs.VMs {
+			if w, ok := t.PerVM[name]; ok {
+				hostSum += w
+				accounted++
+			}
+			inPerVM := !unaccounted[name]
+			if _, ok := t.PerVM[name]; ok != inPerVM {
+				bad("VM %q: accounted=%v but unaccounted=%v", name, ok, unaccounted[name])
+			}
+		}
+		if hs.State == HostQuarantined {
+			if accounted != 0 {
+				bad("host %d quarantined but %d of its VMs accounted", hs.Host, accounted)
+			}
+			continue
+		}
+		if accounted != len(hs.VMs) {
+			bad("host %d %s but only %d/%d VMs accounted", hs.Host, hs.State, accounted, len(hs.VMs))
+		}
+		if d := hostSum - hs.DynamicWatts; d > tol || d < -tol {
+			bad("host %d: sum(shares) = %g W, DynamicWatts = %g W (delta %g)", hs.Host, hostSum, hs.DynamicWatts, d)
+		}
+	}
+	return problems
 }
 
 // Step advances every host one tick and aggregates the allocations.

@@ -16,13 +16,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"vmpower/internal/core"
 	"vmpower/internal/fleet"
+	"vmpower/internal/obs"
 )
 
 // HostJSON is the wire form of one host's status.
@@ -36,6 +39,7 @@ type HostJSON struct {
 	RejectedSamples  int      `json:"rejected_samples,omitempty"`
 	MeasuredWatts    float64  `json:"measured_watts"`
 	DynamicWatts     float64  `json:"dynamic_watts"`
+	Tier             string   `json:"tier,omitempty"`
 	VMs              []string `json:"vms"`
 }
 
@@ -157,8 +161,44 @@ func (s *Server) Step() (*fleet.Tick, error) {
 	s.lastTickAt = s.now()
 	s.lastErr = ""
 	s.mu.Unlock()
-	o.noteTick(s.now(), time.Since(start), tick, wire)
+	now := s.now()
+	o.noteTick(now, time.Since(start), tick, wire)
+	o.noteProvenance(s, now, tick)
 	return tick, nil
+}
+
+// EnableAudit installs the per-tick invariant auditor (see core.Auditor)
+// on every host's estimator. Violations are journaled with a
+// "host:<i>" subject, logged, and arm a flight dump that fires after the
+// tick's record lands. The fleet-level rollup conservation check runs
+// unconditionally on instrumented servers; this adds the per-host solver
+// checks (Efficiency residual, share bounds, sampled deep re-solves).
+// Call before the serve loop starts.
+func (s *Server) EnableAudit(cfg core.AuditConfig) {
+	s.f.EnableAudit(cfg, func(host int, v core.AuditViolation) {
+		o := s.telemetry.Load()
+		if o == nil {
+			return
+		}
+		// May fire from fleet worker goroutines (Parallelism > 1):
+		// Journal.Append and armDump are both safe for concurrent use.
+		subject := "host:" + strconv.Itoa(host)
+		o.journal.Append(v.Tick, "audit_violation", subject, v.Kind+": "+v.Detail)
+		o.log.Warn("audit violation", "tick", v.Tick, "host", host, "kind", v.Kind, "detail", v.Detail)
+		o.armDump("audit: " + v.Kind + " on " + subject)
+	})
+}
+
+// DumpFlight writes the flight-recorder ring as indented JSON — the
+// SIGQUIT handler's path. It fails only when the server was never
+// instrumented (no flight recorder exists then).
+func (s *Server) DumpFlight(w io.Writer, reason string) error {
+	o := s.telemetry.Load()
+	if o == nil {
+		return errors.New("fleetd: not instrumented; no flight recorder")
+	}
+	o.flight.WriteJSON(w, reason)
+	return nil
 }
 
 // wireTick converts a fleet tick to its wire form.
@@ -198,6 +238,7 @@ func wireHosts(statuses []fleet.HostStatus) []HostJSON {
 			RejectedSamples:  hs.RejectedSamples,
 			MeasuredWatts:    hs.MeasuredWatts,
 			DynamicWatts:     hs.DynamicWatts,
+			Tier:             hs.Tier,
 			VMs:              hs.VMs,
 		}
 	}
@@ -232,7 +273,11 @@ func energyJSON(f *fleet.Fleet) EnergyJSON {
 //	GET /healthz           — liveness ladder (503 only when all hosts are lost)
 //
 // When the server is instrumented (call Instrument before Handler), the
-// mux additionally serves GET /metrics and GET /metrics.json.
+// mux additionally serves GET /metrics, GET /metrics.json,
+// GET /api/v1/events?since=<seq> (the bounded tick event journal) and
+// GET /debug/flight (a flight-recorder dump; ?trigger=last returns the
+// most recent quarantine/violation-triggered dump instead of the live
+// ring).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/status", s.instrumented("/api/v1/status", s.handleStatus))
@@ -242,8 +287,33 @@ func (s *Server) Handler() http.Handler {
 	if o := s.telemetry.Load(); o != nil {
 		mux.HandleFunc("GET /metrics", s.instrumented("/metrics", o.reg.Handler().ServeHTTP))
 		mux.HandleFunc("GET /metrics.json", s.instrumented("/metrics.json", o.reg.HandlerJSON().ServeHTTP))
+		mux.HandleFunc("GET /api/v1/events", s.instrumented("/api/v1/events", o.journal.Handler().ServeHTTP))
+		mux.HandleFunc("GET /debug/flight", s.instrumented("/debug/flight", s.handleFlight))
 	}
 	return mux
+}
+
+// handleFlight serves a flight-recorder dump: the live ring by default,
+// or — with ?trigger=last — the dump captured at the most recent
+// quarantine or audit violation (404 when none has fired).
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	o := s.telemetry.Load()
+	if o == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "not instrumented"})
+		return
+	}
+	if r.URL.Query().Get("trigger") == "last" {
+		d := o.lastDump.Load()
+		if d == nil {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: "no triggered dump yet"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteJSONIndent(w, d)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	o.flight.WriteJSON(w, "http")
 }
 
 // handleHealthz reports fleet liveness. The ladder, most to least

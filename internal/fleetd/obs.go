@@ -3,8 +3,11 @@ package fleetd
 import (
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"vmpower/internal/cliutil"
 	"vmpower/internal/core"
 	"vmpower/internal/fleet"
 	"vmpower/internal/obs"
@@ -17,6 +20,8 @@ var endpoints = []string{
 	"/api/v1/status",
 	"/api/v1/allocation",
 	"/api/v1/energy",
+	"/api/v1/events",
+	"/debug/flight",
 	"/healthz",
 	"/metrics",
 	"/metrics.json",
@@ -43,12 +48,55 @@ type serverObs struct {
 	lastTick    *obs.Gauge
 	measured    *obs.Gauge
 	dynamic     *obs.Gauge
+	tickSkew    *obs.Gauge
 	tickLat     *obs.Histogram
 	hostsBy     map[fleet.HostState]*obs.Gauge
 	tenantWatts map[string]*obs.Gauge
 	hostWatts   map[int]*obs.Gauge
 
+	// Fleet-level conservation audit counters (the per-host solver audit
+	// uses core's vmpower_audit_* family on the same registry).
+	fleetAuditChecks     *obs.Counter
+	fleetAuditViolations *obs.Counter
+
 	http map[string]httpMetrics
+
+	// Provenance surface: the event journal, the flight recorder and the
+	// most recent triggered dump.
+	journal  *obs.Journal
+	flight   *obs.FlightRecorder
+	lastDump atomic.Pointer[obs.FlightDump]
+
+	// dumpMu guards pendingDump: per-host audit callbacks may fire from
+	// the fleet's worker goroutines when Parallelism > 1.
+	dumpMu      sync.Mutex
+	pendingDump string
+
+	// Step-goroutine state (same single-driver contract as Server.Step):
+	// per-host edge detection and the reusable flight-record scratch.
+	order        []string // VM names, request order (fixed)
+	prevStates   []fleet.HostState
+	prevTiers    []string
+	prevTickWall time.Time
+	scratch      obs.FlightRecord
+}
+
+// armDump requests a flight dump after the current tick's record lands;
+// the first trigger of a tick names the dump. Safe for concurrent use.
+func (o *serverObs) armDump(reason string) {
+	o.dumpMu.Lock()
+	if o.pendingDump == "" {
+		o.pendingDump = reason
+	}
+	o.dumpMu.Unlock()
+}
+
+func (o *serverObs) takeDump() string {
+	o.dumpMu.Lock()
+	r := o.pendingDump
+	o.pendingDump = ""
+	o.dumpMu.Unlock()
+	return r
 }
 
 type httpMetrics struct {
@@ -95,13 +143,29 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 			"summed meter readings across accounting hosts at the last tick"),
 		dynamic: reg.Gauge("vmpower_fleet_dynamic_watts",
 			"summed dynamic (above-idle) power across accounting hosts at the last tick"),
+		tickSkew: reg.Gauge("vmpower_tick_skew_seconds",
+			"last tick-to-tick wall spacing minus the configured interval"),
 		tickLat: reg.Histogram("vmpower_fleet_tick_duration_seconds",
 			"fleet tick latency (all hosts advanced and estimated)", obs.DefDurationBuckets),
 		hostsBy:     make(map[fleet.HostState]*obs.Gauge, len(hostStates)),
 		tenantWatts: make(map[string]*obs.Gauge, len(tenants)),
 		hostWatts:   make(map[int]*obs.Gauge, s.f.Hosts()),
-		http:        make(map[string]httpMetrics, len(endpoints)),
+		fleetAuditChecks: reg.Counter("vmpower_fleet_audit_checks_total",
+			"fleet ticks cross-checked for rollup energy conservation"),
+		fleetAuditViolations: reg.Counter("vmpower_fleet_audit_violations_total",
+			"fleet rollup conservation violations"),
+		http:       make(map[string]httpMetrics, len(endpoints)),
+		journal:    obs.NewJournal(0),
+		flight:     obs.NewFlightRecorder(0, len(s.f.VMNames()), 0),
+		order:      s.f.VMNames(),
+		prevStates: make([]fleet.HostState, s.f.Hosts()),
+		prevTiers:  make([]string, s.f.Hosts()),
 	}
+	cliutil.BuildInfoMetric(reg)
+	nVMs := len(o.order)
+	o.scratch.Names = make([]string, 0, nVMs)
+	o.scratch.PerVMWatts = make([]float64, 0, nVMs)
+	o.scratch.PerVMEnergyWs = make([]float64, 0, nVMs)
 	for _, st := range hostStates {
 		o.hostsBy[st] = reg.Gauge("vmpower_fleet_hosts",
 			"hosts by degradation state at the last tick", obs.L("state", st.String()))
@@ -181,6 +245,129 @@ func (o *serverObs) noteTick(now time.Time, dur time.Duration, tick *fleet.Tick,
 			"dynamic_watts", tick.DynamicTotal,
 			"degraded_hosts", tick.DegradedHosts,
 			"quarantined_hosts", tick.QuarantinedHosts)
+	}
+}
+
+// noteProvenance runs the tick's provenance bookkeeping from the Step
+// goroutine: the skew gauge, per-host transition events in fixed host
+// order (exactly one event per state edge), per-host tier switches, the
+// fleet rollup conservation audit, the fleet flight record, and — last,
+// so the dump includes the triggering tick — any armed flight dump
+// (quarantine, conservation violation, or a per-host solver audit
+// violation relayed by EnableAudit).
+func (o *serverObs) noteProvenance(s *Server, now time.Time, tick *fleet.Tick) {
+	if o == nil {
+		return
+	}
+	if !o.prevTickWall.IsZero() {
+		o.tickSkew.Set(now.Sub(o.prevTickWall).Seconds() - o.interval.Seconds())
+	}
+	o.prevTickWall = now
+
+	for i := range tick.Hosts {
+		hs := &tick.Hosts[i]
+		subject := "host:" + strconv.Itoa(hs.Host)
+		if prev := o.prevStates[i]; hs.State != prev {
+			switch {
+			case hs.State == fleet.HostQuarantined:
+				o.journal.Append(tick.Tick, "quarantine", subject, hs.Reason)
+				o.armDump("quarantine: " + subject)
+			case prev == fleet.HostQuarantined:
+				o.journal.Append(tick.Tick, "readmit", subject, "readmitted "+hs.State.String())
+			case hs.State == fleet.HostDegraded:
+				o.journal.Append(tick.Tick, "degraded", subject, hs.Reason)
+			default:
+				o.journal.Append(tick.Tick, "recovered", subject, "")
+			}
+			o.prevStates[i] = hs.State
+		}
+		if hs.Tier != "" && hs.Tier != o.prevTiers[i] {
+			if o.prevTiers[i] != "" {
+				o.journal.Append(tick.Tick, "tier_switch", subject, o.prevTiers[i]+" -> "+hs.Tier)
+			}
+			o.prevTiers[i] = hs.Tier
+		}
+	}
+
+	// Rollup conservation: the per-host games are independent, so by
+	// Additivity the fleet sums must tie out exactly (see
+	// fleet.AuditConservation). A violation is an aggregation bug.
+	o.fleetAuditChecks.Inc()
+	for _, p := range s.f.AuditConservation(tick, 0) {
+		o.fleetAuditViolations.Inc()
+		o.journal.Append(tick.Tick, "audit_violation", "", p)
+		o.log.Warn("fleet conservation violation", "tick", tick.Tick, "detail", p)
+		o.armDump("fleet-audit")
+	}
+
+	// The fleet flight record lists only accounted VMs (Names aligned
+	// with PerVMWatts); VMs on quarantined hosts are absent, exactly as
+	// in Tick.PerVM. There is no fleet-wide snapshot, so States stays
+	// empty, and the tier is per host — summarized when uniform.
+	rec := &o.scratch
+	tier, reason := "", ""
+	rejected, holdover := 0, 0
+	for i := range tick.Hosts {
+		hs := &tick.Hosts[i]
+		rejected += hs.RejectedSamples
+		if hs.HoldoverAgeTicks > holdover {
+			holdover = hs.HoldoverAgeTicks
+		}
+		if hs.Tier == "" {
+			continue
+		}
+		switch tier {
+		case "", hs.Tier:
+			tier = hs.Tier
+		default:
+			tier = "mixed"
+		}
+		if hs.State != fleet.HostHealthy && reason == "" {
+			reason = hs.State.String() + ": " + hs.Reason
+		}
+	}
+	var sumVM float64
+	rec.Names = rec.Names[:0]
+	rec.PerVMWatts = rec.PerVMWatts[:0]
+	rec.PerVMEnergyWs = rec.PerVMEnergyWs[:0]
+	dt := o.interval.Seconds()
+	for _, name := range o.order {
+		w, ok := tick.PerVM[name]
+		if !ok {
+			continue
+		}
+		sumVM += w
+		rec.Names = append(rec.Names, name)
+		rec.PerVMWatts = append(rec.PerVMWatts, w)
+		rec.PerVMEnergyWs = append(rec.PerVMEnergyWs, w*dt)
+	}
+	residual := sumVM - tick.DynamicTotal
+	if residual < 0 {
+		residual = -residual
+	}
+	rec.Tick = tick.Tick
+	rec.UnixNanos = now.UnixNano()
+	rec.MeasuredWatts = tick.MeasuredTotal
+	rec.DynamicWatts = tick.DynamicTotal
+	rec.Tier = tier
+	rec.TierReason = ""
+	rec.SymClasses = 0
+	rec.DirtyVMs = 0
+	rec.Evaluated = 0
+	rec.Reused = 0
+	rec.FullTabulation = false
+	rec.Degraded = tick.Degraded
+	rec.DegradedReason = reason
+	rec.HoldoverAgeTicks = holdover
+	rec.RejectedSamples = rejected
+	rec.EfficiencyResidualWatts = residual
+	rec.States = rec.States[:0]
+	o.flight.Record(rec)
+
+	if dumpReason := o.takeDump(); dumpReason != "" {
+		o.lastDump.Store(o.flight.Dump(dumpReason))
+		o.journal.Append(tick.Tick, "flight_dump", "", dumpReason)
+		o.log.Warn("flight dump triggered", "tick", tick.Tick, "reason", dumpReason)
 	}
 }
 

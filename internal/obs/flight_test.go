@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+func sampleRecord(tick int) FlightRecord {
+	return FlightRecord{
+		Tick:          tick,
+		MeasuredWatts: 93.75 + float64(tick)/3,
+		DynamicWatts:  41.0625 + float64(tick)/7,
+		Tier:          "exact-mask",
+		TierReason:    "within exact mask budget",
+		DirtyVMs:      2, Evaluated: 12, Reused: 20,
+		EfficiencyResidualWatts: 3.1e-13,
+		Names:                   []string{"vm1", "vm2", "vm3"},
+		PerVMWatts:              []float64{10.125, 0.1 + float64(tick)*0.3, 17.25},
+		PerVMEnergyWs:           []float64{10.125, 0.4, 17.25},
+		States: [][]float64{
+			{0.25, 0.5, 0.125},
+			{1, 0, 0.75},
+			{0.3333333333333333, 2, 0.1},
+		},
+	}
+}
+
+func TestFlightRingOverwritesOldest(t *testing.T) {
+	f := NewFlightRecorder(4, 3, 3)
+	for i := 1; i <= 10; i++ {
+		if seq := f.Record(&FlightRecord{Tick: i}); seq != uint64(i) {
+			t.Fatalf("Record %d returned seq %d", i, seq)
+		}
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	d := f.Dump("test")
+	if d.NextSeq != 11 || len(d.Records) != 4 {
+		t.Fatalf("dump next %d, %d records; want 11, 4", d.NextSeq, len(d.Records))
+	}
+	for i, rec := range d.Records {
+		if rec.Seq != uint64(7+i) || rec.Tick != 7+i {
+			t.Fatalf("record %d = seq %d tick %d, want %d", i, rec.Seq, rec.Tick, 7+i)
+		}
+	}
+}
+
+func TestFlightRecordCopiesNotAliases(t *testing.T) {
+	f := NewFlightRecorder(4, 3, 3)
+	rec := sampleRecord(1)
+	f.Record(&rec)
+	// Mutating the caller's scratch must not reach the ring.
+	rec.PerVMWatts[0] = -1
+	rec.States[0][0] = -1
+	rec.Names[0] = "clobbered"
+	d := f.Dump("test")
+	got := d.Records[0]
+	if got.PerVMWatts[0] != 10.125 || got.States[0][0] != 0.25 || got.Names[0] != "vm1" {
+		t.Fatalf("ring aliases caller memory: %+v", got)
+	}
+	// And mutating a dump must not reach the ring either.
+	got.PerVMWatts[0] = -2
+	if f.Dump("again").Records[0].PerVMWatts[0] != 10.125 {
+		t.Fatal("dump aliases ring memory")
+	}
+}
+
+// TestFlightDumpJSONRoundTrip pins the post-mortem contract: a dump
+// pulled off the wire carries bit-identical φ to what the daemon served.
+// encoding/json's shortest-representation float encoding makes this
+// exact, which the test checks via Float64bits rather than ==.
+func TestFlightDumpJSONRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(8, 3, 3)
+	for i := 1; i <= 5; i++ {
+		rec := sampleRecord(i)
+		f.Record(&rec)
+	}
+	var buf bytes.Buffer
+	f.WriteJSON(&buf, "test")
+	var got FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("decoding dump: %v", err)
+	}
+	want := f.Dump("test")
+	if got.Reason != "test" || got.NextSeq != want.NextSeq || len(got.Records) != len(want.Records) {
+		t.Fatalf("dump header = %q/%d/%d, want %q/%d/%d",
+			got.Reason, got.NextSeq, len(got.Records), want.Reason, want.NextSeq, len(want.Records))
+	}
+	for i := range want.Records {
+		w, g := want.Records[i], got.Records[i]
+		for v := range w.PerVMWatts {
+			if math.Float64bits(w.PerVMWatts[v]) != math.Float64bits(g.PerVMWatts[v]) {
+				t.Fatalf("record %d vm %d: φ %x != %x after round-trip",
+					i, v, math.Float64bits(w.PerVMWatts[v]), math.Float64bits(g.PerVMWatts[v]))
+			}
+		}
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("record %d differs after round-trip:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+// TestFlightRecordZeroAllocs pins the hot-path contract: recording a
+// tick within the preallocated capacity performs no allocations, so the
+// recorder is safe to leave on permanently.
+func TestFlightRecordZeroAllocs(t *testing.T) {
+	f := NewFlightRecorder(16, 3, 3)
+	rec := sampleRecord(1)
+	if allocs := testing.AllocsPerRun(200, func() { f.Record(&rec) }); allocs != 0 {
+		t.Fatalf("Record allocates %v/op within capacity, want 0", allocs)
+	}
+	// Oversized ticks are allowed to allocate — but must still be correct.
+	big := sampleRecord(2)
+	big.Names = append(big.Names, "vm4")
+	big.PerVMWatts = append(big.PerVMWatts, 4)
+	big.States = append(big.States, []float64{9, 9, 9, 9})
+	f.Record(&big)
+	d := f.Dump("test")
+	last := d.Records[len(d.Records)-1]
+	if len(last.Names) != 4 || last.PerVMWatts[3] != 4 || last.States[3][0] != 9 {
+		t.Fatalf("oversized record mangled: %+v", last)
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	if seq := f.Record(&FlightRecord{}); seq != 0 {
+		t.Fatalf("nil Record = %d, want 0", seq)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("nil Len = %d", f.Len())
+	}
+	if d := f.Dump("x"); len(d.Records) != 0 {
+		t.Fatalf("nil Dump = %+v", d)
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	f := NewFlightRecorder(4, 3, 3)
+	rec := sampleRecord(1)
+	f.Record(&rec)
+	w := httptest.NewRecorder()
+	f.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/flight", nil))
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(w.Body.Bytes(), &d); err != nil {
+		t.Fatalf("decoding handler body: %v", err)
+	}
+	if d.Reason != "http" || len(d.Records) != 1 || d.Records[0].Tier != "exact-mask" {
+		t.Fatalf("dump = %+v", d)
+	}
+}

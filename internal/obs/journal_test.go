@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestJournalAppendAndSince(t *testing.T) {
+	j := NewJournal(8)
+	if got := j.Append(1, "tier_switch", "", "exact-mask -> exact-sym"); got != 1 {
+		t.Fatalf("first Append seq = %d, want 1", got)
+	}
+	j.Append(2, "degraded", "", "meter dropout")
+	j.Append(5, "recovered", "", "")
+
+	page := j.Since(0)
+	if page.Next != 3 || page.Dropped != 0 || len(page.Events) != 3 {
+		t.Fatalf("Since(0) = next %d dropped %d events %d, want 3/0/3",
+			page.Next, page.Dropped, len(page.Events))
+	}
+	for i, ev := range page.Events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if page.Events[1].Type != "degraded" || page.Events[1].Detail != "meter dropout" {
+		t.Fatalf("event 2 = %+v", page.Events[1])
+	}
+
+	// Delta read: only events after the cursor.
+	page = j.Since(2)
+	if len(page.Events) != 1 || page.Events[0].Type != "recovered" {
+		t.Fatalf("Since(2) = %+v", page.Events)
+	}
+	// Cursor at the tip: empty page, Next unchanged.
+	page = j.Since(page.Next)
+	if len(page.Events) != 0 || page.Next != 3 {
+		t.Fatalf("Since(tip) = %+v", page)
+	}
+}
+
+func TestJournalEvictionReportsDropped(t *testing.T) {
+	j := NewJournal(4)
+	for i := 1; i <= 10; i++ {
+		j.Append(i, "tier_switch", "", "")
+	}
+	page := j.Since(0)
+	if page.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", page.Dropped)
+	}
+	if len(page.Events) != 4 || page.Events[0].Seq != 7 || page.Events[3].Seq != 10 {
+		t.Fatalf("events = %+v, want seqs 7..10", page.Events)
+	}
+	// A cursor inside the evicted range reports only the missing part.
+	page = j.Since(5)
+	if page.Dropped != 1 || len(page.Events) != 4 {
+		t.Fatalf("Since(5) = dropped %d events %d, want 1/4", page.Dropped, len(page.Events))
+	}
+	// A cursor inside the buffered range drops nothing.
+	page = j.Since(8)
+	if page.Dropped != 0 || len(page.Events) != 2 {
+		t.Fatalf("Since(8) = dropped %d events %d, want 0/2", page.Dropped, len(page.Events))
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if seq := j.Append(1, "x", "", ""); seq != 0 {
+		t.Fatalf("nil Append = %d, want 0", seq)
+	}
+	page := j.Since(0)
+	if page.Next != 0 || len(page.Events) != 0 {
+		t.Fatalf("nil Since = %+v", page)
+	}
+}
+
+func TestJournalHandler(t *testing.T) {
+	j := NewJournal(8)
+	j.Append(3, "quarantine", "host:1", "meter fault")
+
+	rec := httptest.NewRecorder()
+	j.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/events?since=0", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var page EventsJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("decoding body: %v", err)
+	}
+	if page.Next != 1 || len(page.Events) != 1 || page.Events[0].Subject != "host:1" {
+		t.Fatalf("page = %+v", page)
+	}
+
+	rec = httptest.NewRecorder()
+	j.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/events?since=bogus", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad since: status = %d, want 400", rec.Code)
+	}
+}
+
+func TestJournalConcurrentAppends(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	const writers, each = 8, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Append(i, "tier_switch", "", "")
+			}
+		}()
+	}
+	wg.Wait()
+	page := j.Since(0)
+	if page.Next != writers*each {
+		t.Fatalf("next = %d, want %d", page.Next, writers*each)
+	}
+	for i := 1; i < len(page.Events); i++ {
+		if page.Events[i].Seq != page.Events[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs at %d: %d then %d",
+				i, page.Events[i-1].Seq, page.Events[i].Seq)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintExposition checks a Prometheus text-format (0.0.4) exposition
+// against the repo's conventions and returns one message per problem
+// (nil when clean):
+//
+//   - every sample's family has a # TYPE line, and the TYPE (and HELP,
+//     which this repo always writes) appears before the first sample;
+//   - counter families end in _total;
+//   - metric and label names stay within the Prometheus charset;
+//   - label values are properly quoted and escaped (\\, \", \n only);
+//   - no duplicate series (same name + label set twice);
+//   - sample values parse as floats (+Inf/-Inf/NaN allowed).
+//
+// It exists so exposition regressions — a family losing its HELP/TYPE,
+// an unescaped label value, a series registered twice — fail the build
+// instead of breaking scrapers in production.
+func LintExposition(r io.Reader) []string {
+	var problems []string
+	typed := make(map[string]string) // family → TYPE
+	helped := make(map[string]bool)  // family → HELP seen
+	sampled := make(map[string]bool) // family → first sample emitted
+	series := make(map[string]bool)  // name+labels → seen
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		bad := func(format string, args ...any) {
+			problems = append(problems, fmt.Sprintf("line %d: %s", lineNo, fmt.Sprintf(format, args...)))
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				bad("%s for invalid metric name %q", fields[1], name)
+				continue
+			}
+			if sampled[name] {
+				bad("%s %s appears after the family's first sample", fields[1], name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if helped[name] {
+					bad("duplicate HELP for %s", name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if _, ok := typed[name]; ok {
+					bad("duplicate TYPE for %s", name)
+					continue
+				}
+				if len(fields) < 4 {
+					bad("TYPE %s missing a type", name)
+					continue
+				}
+				typ := strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					bad("TYPE %s has unknown type %q", name, typ)
+					continue
+				}
+				if typ == "counter" && !strings.HasSuffix(name, "_total") {
+					bad("counter %s does not end in _total", name)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			bad("%v", err)
+			continue
+		}
+		fam := familyOf(name, typed)
+		if _, ok := typed[fam]; !ok {
+			bad("sample %s has no preceding # TYPE %s", name, fam)
+		} else if !helped[fam] {
+			bad("sample %s has no preceding # HELP %s", name, fam)
+		}
+		sampled[fam] = true
+		key := name + labels
+		if series[key] {
+			bad("duplicate series %s%s", name, labels)
+		}
+		series[key] = true
+		switch value {
+		case "+Inf", "-Inf", "NaN", "Inf":
+		default:
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				bad("series %s has unparseable value %q", name, value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("read: %v", err))
+	}
+	return problems
+}
+
+// familyOf strips a histogram/summary sample suffix when the base name
+// has a matching TYPE declaration, so _bucket/_sum/_count lines resolve
+// to their family.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if t, ok := typed[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSampleLine splits "name{labels} value [timestamp]" and validates
+// name, label names and label-value escaping. labels is returned in the
+// raw canonical text form (used for duplicate-series detection).
+func parseSampleLine(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end, lerr := scanLabels(rest[i:])
+		if lerr != nil {
+			return "", "", "", fmt.Errorf("sample %q: %w", name, lerr)
+		}
+		labels = rest[i : i+end]
+		rest = rest[i+end:]
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", "", fmt.Errorf("sample line %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", fmt.Errorf("series %s: want 'value [timestamp]', got %q", name, strings.TrimSpace(rest))
+	}
+	return name, labels, fields[0], nil
+}
+
+// scanLabels validates a {k="v",...} block starting at s[0] == '{' and
+// returns the index just past the closing '}'.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	if i < len(s) && s[i] == '}' {
+		return i + 1, nil
+	}
+	for {
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		lname := s[start:i]
+		if !validLabelName(lname) {
+			return 0, fmt.Errorf("invalid label name %q", lname)
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %s: value not quoted", lname)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("label %s: truncated escape", lname)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Errorf("label %s: invalid escape \\%c", lname, s[i+1])
+				}
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("label %s: unterminated value", lname)
+		}
+		i++ // past closing '"'
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		switch s[i] {
+		case ',':
+			i++
+		case '}':
+			return i + 1, nil
+		default:
+			return 0, fmt.Errorf("unexpected %q after label %s", s[i], lname)
+		}
+	}
+}
+
+// validMetricName reports whether name fits [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name fits [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

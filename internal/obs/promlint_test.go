@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLintExpositionAcceptsOwnOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vmpower_ticks_total", "ticks").Inc()
+	r.Gauge("vmpower_build_info", "build info",
+		L("version", "0.7.0"), L("go", "go1.x")).Set(1)
+	r.Gauge("vmpower_weird_value", `quotes " and \ back`).Set(1)
+	h := r.Histogram("vmpower_tick_duration_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.05)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if problems := LintExposition(&buf); len(problems) != 0 {
+		t.Fatalf("repo's own exposition fails its own lint:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestLintExpositionCatchesBreakage(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{
+			"missing TYPE",
+			"vmpower_x 1\n",
+			"no preceding # TYPE",
+		},
+		{
+			"missing HELP",
+			"# TYPE vmpower_x gauge\nvmpower_x 1\n",
+			"no preceding # HELP",
+		},
+		{
+			"counter without _total",
+			"# HELP vmpower_ticks t\n# TYPE vmpower_ticks counter\nvmpower_ticks 1\n",
+			"does not end in _total",
+		},
+		{
+			"duplicate series",
+			"# HELP vmpower_x x\n# TYPE vmpower_x gauge\nvmpower_x{a=\"1\"} 1\nvmpower_x{a=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"bad escape",
+			"# HELP vmpower_x x\n# TYPE vmpower_x gauge\nvmpower_x{a=\"\\t\"} 1\n",
+			`invalid escape`,
+		},
+		{
+			"unquoted label value",
+			"# HELP vmpower_x x\n# TYPE vmpower_x gauge\nvmpower_x{a=1} 1\n",
+			"not quoted",
+		},
+		{
+			"invalid metric name",
+			"# HELP vm-power x\n# TYPE vm-power gauge\nvm-power 1\n",
+			"invalid metric name",
+		},
+		{
+			"unparseable value",
+			"# HELP vmpower_x x\n# TYPE vmpower_x gauge\nvmpower_x nope\n",
+			"unparseable value",
+		},
+		{
+			"TYPE after sample",
+			"# HELP vmpower_x x\n# TYPE vmpower_x gauge\nvmpower_x 1\n# TYPE vmpower_x gauge\n",
+			"after the family's first sample",
+		},
+		{
+			"unknown type",
+			"# HELP vmpower_x x\n# TYPE vmpower_x stringly\nvmpower_x 1\n",
+			"unknown type",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := LintExposition(strings.NewReader(tc.body))
+			if len(problems) == 0 {
+				t.Fatalf("lint missed the breakage in:\n%s", tc.body)
+			}
+			joined := strings.Join(problems, "\n")
+			if !strings.Contains(joined, tc.want) {
+				t.Fatalf("problems %q do not mention %q", joined, tc.want)
+			}
+		})
+	}
+}
+
+func TestLintExpositionAllowsHistogramSamplesAndInf(t *testing.T) {
+	body := "# HELP vmpower_lat l\n# TYPE vmpower_lat histogram\n" +
+		"vmpower_lat_bucket{le=\"0.1\"} 1\n" +
+		"vmpower_lat_bucket{le=\"+Inf\"} 2\n" +
+		"vmpower_lat_sum 0.3\nvmpower_lat_count 2\n" +
+		"# HELP vmpower_g g\n# TYPE vmpower_g gauge\nvmpower_g +Inf\n"
+	if problems := LintExposition(strings.NewReader(body)); len(problems) != 0 {
+		t.Fatalf("histogram suffixes flagged: %s", strings.Join(problems, "; "))
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTracerConcurrentSpans drives many goroutines through overlapping
+// spans of the same tracer — the fleetd shape, where every host worker
+// traces its own tick concurrently. Run with -race; the assertion is
+// that counts add up and nothing tears.
+func TestTracerConcurrentSpans(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, "vmpower_trace_total_seconds", "vmpower_trace_stage_seconds",
+		"trace", "snapshot", "solve", "publish")
+	var wg sync.WaitGroup
+	const workers, spans = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				s := tr.Start()
+				s.Mark("snapshot")
+				s.Mark("solve")
+				s.Mark("unknown-stage-is-ignored")
+				s.Mark("publish")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.total.Count(); got != workers*spans {
+		t.Fatalf("total count = %d, want %d", got, workers*spans)
+	}
+	for _, stage := range []string{"snapshot", "solve", "publish"} {
+		if got := tr.stages[stage].Count(); got != workers*spans {
+			t.Fatalf("stage %s count = %d, want %d", stage, got, workers*spans)
+		}
+	}
+}
+
+// TestTracerNilSafety pins the uninstrumented path: nil tracer, nil
+// span, all methods allocation-free no-ops.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	if allocs := testing.AllocsPerRun(100, func() {
+		s := tr.Start()
+		s.Mark("solve")
+		s.End()
+	}); allocs != 0 {
+		t.Fatalf("nil tracer span allocates %v/op, want 0", allocs)
+	}
+}

@@ -1,13 +1,18 @@
 package powerd
 
 import (
+	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
+	"vmpower/internal/cliutil"
 	"vmpower/internal/core"
+	"vmpower/internal/hypervisor"
 	"vmpower/internal/meter/serial"
 	"vmpower/internal/obs"
 	"vmpower/internal/shapley"
+	"vmpower/internal/vm"
 )
 
 // tickStages are the pipeline stages of one estimation tick, in order.
@@ -23,6 +28,8 @@ var endpoints = []string{
 	"/api/v1/history",
 	"/api/v1/energy",
 	"/api/v1/interactions",
+	"/api/v1/events",
+	"/debug/flight",
 	"/healthz",
 	"/metrics",
 	"/metrics.json",
@@ -47,9 +54,30 @@ type serverObs struct {
 	calibrated  *obs.Gauge
 	idleWatts   *obs.Gauge
 	measured    *obs.Gauge
+	tickSkew    *obs.Gauge
 	vmWatts     map[string]*obs.Gauge
 
 	http map[string]httpMetrics
+
+	// Provenance surface: the event journal and the flight recorder
+	// (both nil-safe ring buffers), plus the most recent triggered dump.
+	journal  *obs.Journal
+	flight   *obs.FlightRecorder
+	lastDump atomic.Pointer[obs.FlightDump]
+
+	// Step-goroutine state (same single-driver contract as Server.Step;
+	// never touched by HTTP handlers): edge detection for journal events,
+	// the reusable flight-record scratch, and the deferred-dump trigger
+	// set by the audit callback mid-tick and consumed after the tick's
+	// flight record lands (so the dump includes the violating tick).
+	prevTier        string
+	prevDegraded    bool
+	prevCompiles    uint64
+	prevCompileErrs uint64
+	prevTickWall    time.Time
+	pendingDump     string
+	scratch         obs.FlightRecord
+	scratchRows     [][]float64
 }
 
 type httpMetrics struct {
@@ -97,9 +125,19 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 		calibrated: reg.Gauge("vmpower_calibrated", "1 when the estimator is trained"),
 		idleWatts:  reg.Gauge("vmpower_idle_watts", "idle power established by calibration"),
 		measured:   reg.Gauge("vmpower_measured_watts", "machine power measured at the last tick"),
-		vmWatts:    make(map[string]*obs.Gauge, len(s.names)),
-		http:       make(map[string]httpMetrics, len(endpoints)),
+		tickSkew: reg.Gauge("vmpower_tick_skew_seconds",
+			"last tick-to-tick wall spacing minus the configured interval"),
+		vmWatts: make(map[string]*obs.Gauge, len(s.names)),
+		http:    make(map[string]httpMetrics, len(endpoints)),
+		journal: obs.NewJournal(0),
+		flight:  obs.NewFlightRecorder(0, len(s.names), int(vm.NumComponents)),
 	}
+	o.scratchRows = make([][]float64, len(s.names))
+	for i := range o.scratchRows {
+		o.scratchRows[i] = make([]float64, 0, int(vm.NumComponents))
+	}
+	o.prevCompiles, o.prevCompileErrs = s.est.PlanCompileStats()
+	cliutil.BuildInfoMetric(reg)
 	for _, name := range s.names {
 		o.vmWatts[name] = reg.Gauge("vmpower_vm_watts",
 			"per-VM attributed power at the last tick", obs.L("vm", name))
@@ -166,6 +204,91 @@ func (o *serverObs) noteTick(now time.Time, trained bool, idle float64, alloc *c
 			"measured_watts", alloc.MeasuredPower,
 			"dynamic_watts", alloc.DynamicPower,
 			"method", alloc.Method)
+	}
+}
+
+// noteProvenance runs the tick's provenance bookkeeping from the Step
+// goroutine: the skew gauge, edge-triggered journal events (tier switch,
+// degraded/recovered, plan recompiles), the flight record, and — last,
+// so the dump includes the tick that tripped it — any deferred flight
+// dump the audit callback requested mid-tick. The steady-state path
+// (no transitions) is allocation-free: the scratch record refills
+// preallocated slices and Record copies into preallocated slots.
+func (o *serverObs) noteProvenance(s *Server, now time.Time, alloc *core.Allocation, snap *hypervisor.Snapshot, dt float64) {
+	if o == nil {
+		return
+	}
+	if !o.prevTickWall.IsZero() {
+		o.tickSkew.Set(now.Sub(o.prevTickWall).Seconds() - o.interval.Seconds())
+	}
+	o.prevTickWall = now
+
+	if alloc.Prov.Tier != o.prevTier {
+		if o.prevTier != "" {
+			o.journal.Append(alloc.Tick, "tier_switch", alloc.Prov.Tier,
+				fmt.Sprintf("%s -> %s: %s", o.prevTier, alloc.Prov.Tier, alloc.Prov.TierReason))
+		}
+		o.prevTier = alloc.Prov.Tier
+	}
+	if alloc.Degraded != o.prevDegraded {
+		if alloc.Degraded {
+			o.journal.Append(alloc.Tick, "degraded", "", alloc.DegradedReason)
+		} else {
+			o.journal.Append(alloc.Tick, "recovered", "", "")
+		}
+		o.prevDegraded = alloc.Degraded
+	}
+	compiles, compileErrs := s.est.PlanCompileStats()
+	if compiles != o.prevCompiles {
+		o.journal.Append(alloc.Tick, "plan_recompile", "",
+			fmt.Sprintf("worth-plan compile #%d", compiles))
+		o.prevCompiles = compiles
+	}
+	if compileErrs != o.prevCompileErrs {
+		o.journal.Append(alloc.Tick, "plan_compile_error", "",
+			fmt.Sprintf("worth-plan compile failure #%d (legacy path until the model changes)", compileErrs))
+		o.prevCompileErrs = compileErrs
+	}
+
+	rec := &o.scratch
+	rec.Tick = alloc.Tick
+	rec.UnixNanos = now.UnixNano()
+	rec.MeasuredWatts = alloc.MeasuredPower
+	rec.DynamicWatts = alloc.DynamicPower
+	rec.Tier = alloc.Prov.Tier
+	rec.TierReason = alloc.Prov.TierReason
+	rec.SymClasses = alloc.SymmetryClasses
+	rec.DirtyVMs = alloc.Prov.DirtyVMs
+	rec.Evaluated = alloc.Prov.Evaluated
+	rec.Reused = alloc.Prov.Reused
+	rec.FullTabulation = alloc.Prov.FullTabulation
+	rec.Degraded = alloc.Degraded
+	rec.DegradedReason = alloc.DegradedReason
+	rec.HoldoverAgeTicks = alloc.HoldoverAgeTicks
+	rec.RejectedSamples = alloc.RejectedSamples
+	rec.EfficiencyResidualWatts = alloc.Prov.EfficiencyResidualWatts
+	rec.Names = append(rec.Names[:0], s.names...)
+	rec.PerVMWatts = append(rec.PerVMWatts[:0], alloc.PerVM...)
+	rec.PerVMEnergyWs = rec.PerVMEnergyWs[:0]
+	for i := range s.names {
+		w := alloc.PerVM[i]
+		if alloc.IdlePerVM != nil {
+			w += alloc.IdlePerVM[i]
+		}
+		rec.PerVMEnergyWs = append(rec.PerVMEnergyWs, w*dt)
+	}
+	rec.States = rec.States[:0]
+	for i := range snap.States {
+		o.scratchRows[i] = append(o.scratchRows[i][:0], snap.States[i][:]...)
+		rec.States = append(rec.States, o.scratchRows[i])
+	}
+	o.flight.Record(rec)
+
+	if o.pendingDump != "" {
+		o.lastDump.Store(o.flight.Dump(o.pendingDump))
+		o.journal.Append(alloc.Tick, "flight_dump", "", o.pendingDump)
+		o.log.Warn("flight dump triggered", "tick", alloc.Tick, "reason", o.pendingDump)
+		o.pendingDump = ""
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -17,6 +18,7 @@ import (
 
 	"vmpower/internal/core"
 	"vmpower/internal/hypervisor"
+	"vmpower/internal/obs"
 )
 
 // AllocationJSON is the wire form of one tick's allocation.
@@ -159,8 +161,47 @@ func (s *Server) Step() (*core.Allocation, error) {
 	wire := s.record(alloc, &snap)
 	sp.Mark("publish")
 	sp.End()
-	o.noteTick(s.now(), s.est.Trained(), s.est.IdlePower(), alloc, wire)
+	now := s.now()
+	o.noteTick(now, s.est.Trained(), s.est.IdlePower(), alloc, wire)
+	s.mu.RLock()
+	dt := s.interval.Seconds()
+	s.mu.RUnlock()
+	o.noteProvenance(s, now, alloc, &snap, dt)
 	return alloc, nil
+}
+
+// EnableAudit installs the per-tick invariant auditor (see core.Auditor)
+// on the server's estimator. Each violation is journaled, logged, and —
+// once per tick — arms a deferred flight dump that fires after the
+// violating tick's record lands in the ring, so the dump always contains
+// the evidence. Call before the serve loop starts (same contract as
+// core.Estimator.SetAuditor). Violations never abort a tick.
+func (s *Server) EnableAudit(cfg core.AuditConfig) {
+	s.est.SetAuditor(core.NewAuditor(cfg, func(v core.AuditViolation) {
+		o := s.telemetry.Load()
+		if o == nil {
+			return
+		}
+		// The callback fires inside EstimateTickSpan, on the Step
+		// goroutine — the same goroutine that owns pendingDump.
+		o.journal.Append(v.Tick, "audit_violation", v.Kind, v.Detail)
+		o.log.Warn("audit violation", "tick", v.Tick, "kind", v.Kind, "detail", v.Detail)
+		if o.pendingDump == "" {
+			o.pendingDump = "audit: " + v.Kind
+		}
+	}))
+}
+
+// DumpFlight writes the flight-recorder ring as indented JSON — the
+// SIGQUIT handler's path. It fails only when the server was never
+// instrumented (no recorder exists then).
+func (s *Server) DumpFlight(w io.Writer, reason string) error {
+	o := s.telemetry.Load()
+	if o == nil {
+		return errors.New("powerd: not instrumented; no flight recorder")
+	}
+	o.flight.WriteJSON(w, reason)
+	return nil
 }
 
 // record atomically publishes one tick's allocation together with the
@@ -220,8 +261,11 @@ func (s *Server) record(alloc *core.Allocation, snap *hypervisor.Snapshot) *Allo
 //	GET /healthz           — liveness: 503 when the loop stalls or errors
 //
 // When the server is instrumented (call Instrument before Handler), the
-// mux additionally serves GET /metrics (Prometheus text format) and
-// GET /metrics.json.
+// mux additionally serves GET /metrics (Prometheus text format),
+// GET /metrics.json, GET /api/v1/events?since=<seq> (the bounded tick
+// event journal) and GET /debug/flight (a flight-recorder dump; pass
+// ?trigger=last for the most recent violation-triggered dump instead of
+// the live ring).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/status", s.instrumented("/api/v1/status", s.handleStatus))
@@ -233,8 +277,33 @@ func (s *Server) Handler() http.Handler {
 	if o := s.telemetry.Load(); o != nil {
 		mux.HandleFunc("GET /metrics", s.instrumented("/metrics", o.reg.Handler().ServeHTTP))
 		mux.HandleFunc("GET /metrics.json", s.instrumented("/metrics.json", o.reg.HandlerJSON().ServeHTTP))
+		mux.HandleFunc("GET /api/v1/events", s.instrumented("/api/v1/events", o.journal.Handler().ServeHTTP))
+		mux.HandleFunc("GET /debug/flight", s.instrumented("/debug/flight", s.handleFlight))
 	}
 	return mux
+}
+
+// handleFlight serves a flight-recorder dump: the live ring by default,
+// or — with ?trigger=last — the dump captured at the most recent audit
+// violation (404 when none has fired).
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	o := s.telemetry.Load()
+	if o == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "not instrumented"})
+		return
+	}
+	if r.URL.Query().Get("trigger") == "last" {
+		d := o.lastDump.Load()
+		if d == nil {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: "no triggered dump yet"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteJSONIndent(w, d)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	o.flight.WriteJSON(w, "http")
 }
 
 // HealthJSON is the wire form of /healthz.
