@@ -4,7 +4,7 @@ GO ?= go
 # Benchtime for the bench-json snapshot; 1x keeps `make verify` fast.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race bench bench-json verify experiments csv cover fmt vet clean fuzz-short golden fleetd-smoke
+.PHONY: all build test race bench bench-json verify experiments csv cover fmt vet clean fuzz-short golden fleetd-smoke lifecycle-smoke
 
 all: build test
 
@@ -56,12 +56,23 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzHistoryQuery$$' -fuzztime $(FUZZTIME) ./internal/powerd/
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceFromCSV$$' -fuzztime $(FUZZTIME) ./internal/workload/
 	$(GO) test -run '^$$' -fuzz '^FuzzGeneratorTicks$$' -fuzztime $(FUZZTIME) ./internal/workload/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseScenario$$' -fuzztime $(FUZZTIME) ./internal/cliutil/
 
 # End-to-end fleetd smoke: calibrate a 3-host pool, serve on an ephemeral
 # port, run 10 ticks, self-scrape /healthz and /metrics, exit non-zero on
 # any missing surface.
 fleetd-smoke:
 	$(GO) run ./cmd/fleetd -smoke -calibration-ticks 20 -log-level warn
+
+# End-to-end lifecycle smoke: a 2-host pool plays a scenario with every
+# event class (power cycle, live migration, hot-plug, drain/undrain,
+# autoscale, remove) over 30 ticks, then self-scrapes /api/v1/scenario,
+# the lifecycle metrics and the event journal. The conservation audit
+# runs on every tick; any violation fails the run.
+lifecycle-smoke:
+	$(GO) run ./cmd/fleetd -smoke -hosts 2 -calibration-ticks 20 -log-level warn \
+	  -vms "x1:xlarge:acme:gcc,x2:xlarge:acme:gobmk,x3:xlarge:acme:sjeng,s1:small:edu-lab:namd,s2:small:edu-lab:namd,s3:small:edu-lab:namd,s4:small:edu-lab:namd,s5:small:edu-lab:namd,s6:small:edu-lab:namd,s7:small:edu-lab:namd,s8:small:edu-lab:namd,s9:small:edu-lab:namd,s10:small:edu-lab:namd" \
+	  -scenario "s10@3:poweroff,s10@5:poweron,s1@8:migrate:1:2,n1@12:hotplug:1:small:edu-lab:namd:99,host:1@16:drain:1,host:1@22:undrain,grp:s@24:autoscale:2:5,n1@28:remove"
 
 # Re-pin the golden experiment outputs after an intentional change to the
 # simulation, calibration or solvers.

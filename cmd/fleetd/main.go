@@ -12,6 +12,7 @@
 //	       [-interval dur] [-seed N] [-parallelism N] [-probe N]
 //	       [-holdover N] [-stuck-threshold N] [-meter-noise W]
 //	       [-calibration-ticks N] [-fault-host H] [-fault-* ...]
+//	       [-scenario spec] [-scenario-seed N]
 //	       [-log-level L] [-log-format F] [-pprof] [-smoke]
 //
 // Endpoints:
@@ -19,6 +20,7 @@
 //	GET /api/v1/status
 //	GET /api/v1/allocation
 //	GET /api/v1/energy
+//	GET /api/v1/scenario          (lifecycle scenario progress, with -scenario)
 //	GET /api/v1/events?since=SEQ  (tick event journal)
 //	GET /healthz
 //	GET /metrics          (Prometheus text format)
@@ -48,6 +50,7 @@ import (
 	"vmpower/internal/fleet"
 	"vmpower/internal/fleetd"
 	"vmpower/internal/obs"
+	"vmpower/internal/scenario"
 )
 
 func main() {
@@ -78,6 +81,8 @@ func run() error {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		smoke     = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a few ticks, scrape /healthz, /metrics and /api/v1/events, exit")
 		auditDeep = flag.Int("audit-deep", 60, "re-solve every Nth host tick through the alternate exact path and compare (0 disables deep checks; the cheap per-tick audit always runs)")
+		scenFlag  = flag.String("scenario", "", "lifecycle scenario DSL (subject@tick:kind[:args], comma list; e.g. vm1@5:migrate:1:3,host:0@10:drain:2)")
+		scenSeed  = flag.Int64("scenario-seed", 1, "seed for the scenario autoscale burst stream")
 		version   = cliutil.VersionFlag(nil)
 		logCfg    = cliutil.LogFlags(nil)
 		faultCfg  = cliutil.FaultFlags(nil)
@@ -160,6 +165,19 @@ func run() error {
 	srv.Instrument(reg, logger, *interval)
 	srv.EnableAudit(core.AuditConfig{DeepEvery: *auditDeep})
 
+	var engine *scenario.Engine
+	if *scenFlag != "" {
+		events, err := cliutil.ParseScenario(*scenFlag)
+		if err != nil {
+			return err
+		}
+		if engine, err = scenario.New(f, events, *scenSeed); err != nil {
+			return err
+		}
+		srv.SetScenario(engine)
+		logger.Info("scenario loaded", "events", len(events), "seed", *scenSeed)
+	}
+
 	if injector != nil {
 		injector.SetArmed(true)
 		logger.Info("fault injection armed",
@@ -168,7 +186,7 @@ func run() error {
 	}
 
 	if *smoke {
-		return runSmoke(srv, injector, logger)
+		return runSmoke(srv, engine, injector, logger)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -235,7 +253,9 @@ func run() error {
 // /metrics and /api/v1/events and verify the fleet surface is present —
 // including a full Prometheus-exposition lint of the /metrics body, so a
 // malformed family or duplicate series fails CI instead of a scraper.
-func runSmoke(srv *fleetd.Server, injector *faults.Meter, logger *obs.Logger) error {
+// With a scenario loaded the run is long enough to play the whole script
+// and /api/v1/scenario is scraped too (the lifecycle smoke test).
+func runSmoke(srv *fleetd.Server, engine *scenario.Engine, injector *faults.Meter, logger *obs.Logger) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -248,7 +268,11 @@ func runSmoke(srv *fleetd.Server, injector *faults.Meter, logger *obs.Logger) er
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	for i := 0; i < 10; i++ {
+	ticks := 10
+	if engine != nil {
+		ticks = 30
+	}
+	for i := 0; i < ticks; i++ {
 		if _, err := srv.Step(); err != nil {
 			return fmt.Errorf("smoke: tick %d: %w", i+1, err)
 		}
@@ -273,11 +297,11 @@ func runSmoke(srv *fleetd.Server, injector *faults.Meter, logger *obs.Logger) er
 	}
 	for _, want := range []string{
 		`vmpower_fleet_hosts{state="healthy"}`,
-		"vmpower_fleet_ticks_total 10",
+		fmt.Sprintf("vmpower_fleet_ticks_total %d", ticks),
 		"vmpower_fleet_tenant_watts",
 		"vmpower_fleet_tick_duration_seconds_bucket",
 		"vmpower_build_info{",
-		"vmpower_fleet_audit_checks_total 10",
+		fmt.Sprintf("vmpower_fleet_audit_checks_total %d", ticks),
 		"vmpower_audit_checks_total",
 		"vmpower_tick_skew_seconds",
 	} {
@@ -302,6 +326,34 @@ func runSmoke(srv *fleetd.Server, injector *faults.Meter, logger *obs.Logger) er
 		if !strings.Contains(events, want) {
 			return fmt.Errorf("smoke: /api/v1/events missing %s: %s", want, events)
 		}
+	}
+	if engine != nil {
+		scen, err := scrape(base + "/api/v1/scenario")
+		if err != nil {
+			return fmt.Errorf("smoke: %w", err)
+		}
+		for _, want := range []string{`"events"`, `"applied"`, `"done":true`, `"refused":0`} {
+			if !strings.Contains(scen, want) {
+				return fmt.Errorf("smoke: /api/v1/scenario missing %s: %s", want, scen)
+			}
+		}
+		// The lifecycle journal and counters must have recorded the script.
+		for _, want := range []string{
+			`vmpower_fleet_lifecycle_events_total{type="migrate_start"}`,
+			`vmpower_fleet_lifecycle_events_total{type="migrate_finish"}`,
+			`vmpower_fleet_lifecycle_events_total{type="drain_finish"}`,
+			`vmpower_fleet_migrations_total{result="completed"}`,
+		} {
+			if !strings.Contains(metrics, want) {
+				return fmt.Errorf("smoke: /metrics missing %q", want)
+			}
+		}
+		for _, want := range []string{"migrate_start", "drain_start", "drain_finish"} {
+			if !strings.Contains(events, want) {
+				return fmt.Errorf("smoke: /api/v1/events missing lifecycle event %q", want)
+			}
+		}
+		logger.Info("scenario smoke", "status", strings.TrimSpace(scen))
 	}
 	logger.Info("smoke ok", "addr", base, "healthz", strings.TrimSpace(health))
 	fmt.Println("fleetd smoke: ok")

@@ -1,0 +1,235 @@
+package cliutil
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vmpower/internal/vm"
+)
+
+// Scenario event kinds, the verbs of the lifecycle DSL.
+const (
+	ScenarioPowerOn   = "poweron"
+	ScenarioPowerOff  = "poweroff"
+	ScenarioMigrate   = "migrate"
+	ScenarioHotplug   = "hotplug"
+	ScenarioRemove    = "remove"
+	ScenarioDrain     = "drain"
+	ScenarioUndrain   = "undrain"
+	ScenarioAutoscale = "autoscale"
+)
+
+// ScenarioEvent is one parsed lifecycle event: at Tick, do Kind to
+// Subject. Which extra fields are meaningful depends on Kind.
+type ScenarioEvent struct {
+	// Subject is a VM name (VM events), a host index (drain/undrain,
+	// parsed from "host:<i>"), or a name prefix (autoscale, parsed from
+	// "grp:<prefix>").
+	Subject string
+	// Host is the subject host index for drain/undrain, -1 otherwise.
+	Host int
+	// Tick is the fleet tick the event applies to: it takes effect before
+	// the Step that produces Tick.Tick == Tick. Must be >= 1.
+	Tick int
+	// Kind is one of the Scenario* constants.
+	Kind string
+	// Dest is the destination host for migrate/hotplug, -1 otherwise.
+	Dest int
+	// CopyTicks is the migration copy window (migrate, drain).
+	CopyTicks int
+	// Type, Tenant, Workload, WorkloadSeed describe the new VM for hotplug.
+	Type         vm.TypeID
+	Tenant       string
+	Workload     string
+	WorkloadSeed int64
+	// Min and Max bound an autoscale group's running-VM count.
+	Min, Max int
+}
+
+// ParseScenario parses a comma-separated lifecycle scenario. Each entry
+// is subject@tick:event[:args]:
+//
+//	web1@5:poweroff                    stop VM web1 before tick 5
+//	web1@9:poweron                     start it again before tick 9
+//	web1@12:migrate:2:3                live-migrate web1 to host 2, 3-tick copy window
+//	web9@4:hotplug:1:small:acme:cpu-burst[:seed]
+//	                                   hot-plug small VM web9 for tenant acme on
+//	                                   host 1 running cpu-burst (optional trace seed)
+//	web9@40:remove                     permanently remove web9
+//	host:0@20:drain:2                  drain host 0 (2-tick copy windows; :2 optional, default 1)
+//	host:0@30:undrain                  readmit host 0
+//	grp:api@10:autoscale:1:4           autoscale VMs named api* between 1 and 4 running
+//
+// Events are returned sorted by tick (stable: input order within a
+// tick). Ticks are 1-based, matching Tick.Tick.
+func ParseScenario(list string) ([]ScenarioEvent, error) {
+	var out []ScenarioEvent
+	for _, raw := range strings.Split(list, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		ev, err := parseScenarioEvent(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty scenario")
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Tick < out[j].Tick })
+	return out, nil
+}
+
+func parseScenarioEvent(raw string) (ScenarioEvent, error) {
+	ev := ScenarioEvent{Host: -1, Dest: -1}
+	subject, rest, ok := strings.Cut(raw, "@")
+	if !ok {
+		return ev, fmt.Errorf("cliutil: bad scenario entry %q (want subject@tick:event[:args])", raw)
+	}
+	subject = strings.TrimSpace(subject)
+	if subject == "" {
+		return ev, fmt.Errorf("cliutil: scenario entry %q has an empty subject", raw)
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) < 2 {
+		return ev, fmt.Errorf("cliutil: bad scenario entry %q (want subject@tick:event[:args])", raw)
+	}
+	tick, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil || tick < 1 {
+		return ev, fmt.Errorf("cliutil: scenario entry %q has bad tick %q (want an integer >= 1)", raw, parts[0])
+	}
+	ev.Tick = tick
+	ev.Kind = strings.TrimSpace(parts[1])
+	args := parts[2:]
+
+	// Subject family: "host:<i>" for host verbs, "grp:<prefix>" for
+	// autoscale, a plain VM name for the rest.
+	switch {
+	case strings.HasPrefix(subject, "host:"):
+		h, err := strconv.Atoi(subject[len("host:"):])
+		if err != nil || h < 0 {
+			return ev, fmt.Errorf("cliutil: scenario entry %q has bad host subject %q", raw, subject)
+		}
+		ev.Host = h
+		ev.Subject = subject
+	case strings.HasPrefix(subject, "grp:"):
+		prefix := subject[len("grp:"):]
+		if prefix == "" {
+			return ev, fmt.Errorf("cliutil: scenario entry %q has an empty group prefix", raw)
+		}
+		ev.Subject = prefix
+	default:
+		if strings.Contains(subject, ":") {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: VM names cannot contain %q", raw, ":")
+		}
+		ev.Subject = subject
+	}
+
+	argInt := func(i int, what string, min int) (int, error) {
+		v, err := strconv.Atoi(strings.TrimSpace(args[i]))
+		if err != nil || v < min {
+			return 0, fmt.Errorf("cliutil: scenario entry %q has bad %s %q (want an integer >= %d)", raw, what, args[i], min)
+		}
+		return v, nil
+	}
+
+	switch ev.Kind {
+	case ScenarioPowerOn, ScenarioPowerOff, ScenarioRemove:
+		if ev.Host >= 0 || ev.Subject != subject {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: %s takes a VM name subject", raw, ev.Kind)
+		}
+		if len(args) != 0 {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: %s takes no arguments", raw, ev.Kind)
+		}
+	case ScenarioMigrate:
+		if ev.Host >= 0 || ev.Subject != subject {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: migrate takes a VM name subject", raw)
+		}
+		if len(args) != 2 {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: migrate wants :<host>:<copyticks>", raw)
+		}
+		if ev.Dest, err = argInt(0, "destination host", 0); err != nil {
+			return ev, err
+		}
+		if ev.CopyTicks, err = argInt(1, "copy window", 0); err != nil {
+			return ev, err
+		}
+	case ScenarioHotplug:
+		if ev.Host >= 0 || ev.Subject != subject {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: hotplug takes the new VM's name as subject", raw)
+		}
+		if len(args) < 3 || len(args) > 5 {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: hotplug wants :<host>:<type>:<tenant>[:<workload>[:<seed>]]", raw)
+		}
+		if ev.Dest, err = argInt(0, "host", 0); err != nil {
+			return ev, err
+		}
+		typ, ok := TypeByName[strings.TrimSpace(args[1])]
+		if !ok {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: unknown VM type %q (want small/medium/large/xlarge)", raw, args[1])
+		}
+		ev.Type = typ
+		ev.Tenant = strings.TrimSpace(args[2])
+		if ev.Tenant == "" {
+			return ev, fmt.Errorf("cliutil: scenario entry %q has an empty tenant", raw)
+		}
+		if len(args) >= 4 {
+			ev.Workload = strings.TrimSpace(args[3])
+			if ev.Workload == "" {
+				return ev, fmt.Errorf("cliutil: scenario entry %q has an empty workload", raw)
+			}
+		}
+		if len(args) == 5 {
+			seed, err := strconv.ParseInt(strings.TrimSpace(args[4]), 10, 64)
+			if err != nil {
+				return ev, fmt.Errorf("cliutil: scenario entry %q has bad workload seed %q", raw, args[4])
+			}
+			ev.WorkloadSeed = seed
+		}
+	case ScenarioDrain:
+		if ev.Host < 0 {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: drain takes a host:<i> subject", raw)
+		}
+		ev.CopyTicks = 1
+		if len(args) > 1 {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: drain wants at most :<copyticks>", raw)
+		}
+		if len(args) == 1 {
+			if ev.CopyTicks, err = argInt(0, "copy window", 0); err != nil {
+				return ev, err
+			}
+		}
+	case ScenarioUndrain:
+		if ev.Host < 0 {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: undrain takes a host:<i> subject", raw)
+		}
+		if len(args) != 0 {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: undrain takes no arguments", raw)
+		}
+	case ScenarioAutoscale:
+		if ev.Subject == subject || ev.Host >= 0 {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: autoscale takes a grp:<prefix> subject", raw)
+		}
+		if len(args) != 2 {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: autoscale wants :<min>:<max>", raw)
+		}
+		if ev.Min, err = argInt(0, "min", 0); err != nil {
+			return ev, err
+		}
+		if ev.Max, err = argInt(1, "max", 0); err != nil {
+			return ev, err
+		}
+		if ev.Max < ev.Min {
+			return ev, fmt.Errorf("cliutil: scenario entry %q: max %d < min %d", raw, ev.Max, ev.Min)
+		}
+	case "":
+		return ev, fmt.Errorf("cliutil: scenario entry %q has an empty event", raw)
+	default:
+		return ev, fmt.Errorf("cliutil: scenario entry %q: unknown event %q", raw, ev.Kind)
+	}
+	return ev, nil
+}

@@ -1,0 +1,233 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"vmpower/internal/vm"
+)
+
+func TestParseScenarioValid(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []ScenarioEvent
+	}{
+		{
+			name: "poweroff and poweron",
+			in:   "web1@5:poweroff, web1@9:poweron",
+			want: []ScenarioEvent{
+				{Subject: "web1", Host: -1, Dest: -1, Tick: 5, Kind: ScenarioPowerOff},
+				{Subject: "web1", Host: -1, Dest: -1, Tick: 9, Kind: ScenarioPowerOn},
+			},
+		},
+		{
+			name: "migrate",
+			in:   "db1@12:migrate:2:3",
+			want: []ScenarioEvent{
+				{Subject: "db1", Host: -1, Dest: 2, Tick: 12, Kind: ScenarioMigrate, CopyTicks: 3},
+			},
+		},
+		{
+			name: "cold migrate zero window",
+			in:   "db1@12:migrate:0:0",
+			want: []ScenarioEvent{
+				{Subject: "db1", Host: -1, Dest: 0, Tick: 12, Kind: ScenarioMigrate},
+			},
+		},
+		{
+			name: "hotplug minimal",
+			in:   "web9@4:hotplug:1:small:acme",
+			want: []ScenarioEvent{
+				{Subject: "web9", Host: -1, Dest: 1, Tick: 4, Kind: ScenarioHotplug, Type: vm.TypeID(0), Tenant: "acme"},
+			},
+		},
+		{
+			name: "hotplug with workload and seed",
+			in:   "web9@4:hotplug:1:xlarge:acme:cpu-burst:77",
+			want: []ScenarioEvent{
+				{Subject: "web9", Host: -1, Dest: 1, Tick: 4, Kind: ScenarioHotplug,
+					Type: vm.TypeID(3), Tenant: "acme", Workload: "cpu-burst", WorkloadSeed: 77},
+			},
+		},
+		{
+			name: "remove",
+			in:   "web9@40:remove",
+			want: []ScenarioEvent{
+				{Subject: "web9", Host: -1, Dest: -1, Tick: 40, Kind: ScenarioRemove},
+			},
+		},
+		{
+			name: "drain default window",
+			in:   "host:0@20:drain",
+			want: []ScenarioEvent{
+				{Subject: "host:0", Host: 0, Dest: -1, Tick: 20, Kind: ScenarioDrain, CopyTicks: 1},
+			},
+		},
+		{
+			name: "drain explicit window and undrain",
+			in:   "host:2@20:drain:4,host:2@30:undrain",
+			want: []ScenarioEvent{
+				{Subject: "host:2", Host: 2, Dest: -1, Tick: 20, Kind: ScenarioDrain, CopyTicks: 4},
+				{Subject: "host:2", Host: 2, Dest: -1, Tick: 30, Kind: ScenarioUndrain},
+			},
+		},
+		{
+			name: "autoscale",
+			in:   "grp:api@10:autoscale:1:4",
+			want: []ScenarioEvent{
+				{Subject: "api", Host: -1, Dest: -1, Tick: 10, Kind: ScenarioAutoscale, Min: 1, Max: 4},
+			},
+		},
+		{
+			name: "sorted by tick, stable within",
+			in:   "b@7:poweron,a@3:poweroff,c@3:poweron",
+			want: []ScenarioEvent{
+				{Subject: "a", Host: -1, Dest: -1, Tick: 3, Kind: ScenarioPowerOff},
+				{Subject: "c", Host: -1, Dest: -1, Tick: 3, Kind: ScenarioPowerOn},
+				{Subject: "b", Host: -1, Dest: -1, Tick: 7, Kind: ScenarioPowerOn},
+			},
+		},
+		{
+			name: "trailing comma and spaces",
+			in:   " web1@5:poweroff , ",
+			want: []ScenarioEvent{
+				{Subject: "web1", Host: -1, Dest: -1, Tick: 5, Kind: ScenarioPowerOff},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ParseScenario(tt.in)
+			if err != nil {
+				t.Fatalf("ParseScenario(%q): %v", tt.in, err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %d events, want %d: %+v", len(got), len(tt.want), got)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("event %d:\n got  %+v\n want %+v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	tests := []struct {
+		name, in, errSub string
+	}{
+		{"empty list", "", "empty scenario"},
+		{"only commas", " , ,", "empty scenario"},
+		{"no at sign", "web1:poweron", "want subject@tick"},
+		{"empty subject", "@5:poweron", "empty subject"},
+		{"missing event", "web1@5", "want subject@tick"},
+		{"empty event", "web1@5:", "empty event"},
+		{"unknown event", "web1@5:explode", `unknown event "explode"`},
+		{"bad tick", "web1@x:poweron", "bad tick"},
+		{"zero tick", "web1@0:poweron", "bad tick"},
+		{"negative tick", "web1@-3:poweron", "bad tick"},
+		{"poweron with args", "web1@5:poweron:2", "takes no arguments"},
+		{"poweron on host", "host:1@5:poweron", "takes a VM name"},
+		{"poweron on group", "grp:api@5:poweron", "takes a VM name"},
+		{"vm name with colon", "we:b1@5:poweron", "cannot contain"},
+		{"migrate missing args", "web1@5:migrate:2", "wants :<host>:<copyticks>"},
+		{"migrate extra args", "web1@5:migrate:2:3:4", "wants :<host>:<copyticks>"},
+		{"migrate bad host", "web1@5:migrate:x:3", "bad destination host"},
+		{"migrate negative host", "web1@5:migrate:-1:3", "bad destination host"},
+		{"migrate bad window", "web1@5:migrate:2:-1", "bad copy window"},
+		{"migrate on host subject", "host:0@5:migrate:2:3", "takes a VM name"},
+		{"hotplug too few", "web9@4:hotplug:1:small", "wants :<host>:<type>:<tenant>"},
+		{"hotplug too many", "web9@4:hotplug:1:small:acme:cpu-burst:7:9", "wants :<host>:<type>:<tenant>"},
+		{"hotplug bad host", "web9@4:hotplug:x:small:acme", "bad host"},
+		{"hotplug bad type", "web9@4:hotplug:1:giant:acme", `unknown VM type "giant"`},
+		{"hotplug empty tenant", "web9@4:hotplug:1:small: ", "empty tenant"},
+		{"hotplug empty workload", "web9@4:hotplug:1:small:acme: ", "empty workload"},
+		{"hotplug bad seed", "web9@4:hotplug:1:small:acme:cpu-burst:x", "bad workload seed"},
+		{"drain on vm", "web1@5:drain", "takes a host:<i> subject"},
+		{"drain bad host index", "host:x@5:drain", "bad host subject"},
+		{"drain negative host", "host:-1@5:drain", "bad host subject"},
+		{"drain extra args", "host:0@5:drain:1:2", "at most :<copyticks>"},
+		{"drain bad window", "host:0@5:drain:-1", "bad copy window"},
+		{"undrain on vm", "web1@5:undrain", "takes a host:<i> subject"},
+		{"undrain with args", "host:0@5:undrain:1", "takes no arguments"},
+		{"autoscale on vm", "web1@5:autoscale:1:4", "takes a grp:<prefix> subject"},
+		{"autoscale on host", "host:0@5:autoscale:1:4", "takes a grp:<prefix> subject"},
+		{"autoscale empty prefix", "grp:@5:autoscale:1:4", "empty group prefix"},
+		{"autoscale missing args", "grp:api@5:autoscale:1", "wants :<min>:<max>"},
+		{"autoscale bad min", "grp:api@5:autoscale:x:4", "bad min"},
+		{"autoscale negative min", "grp:api@5:autoscale:-1:4", "bad min"},
+		{"autoscale max below min", "grp:api@5:autoscale:4:1", "max 1 < min 4"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseScenario(tt.in)
+			if err == nil {
+				t.Fatalf("ParseScenario(%q) succeeded, want error containing %q", tt.in, tt.errSub)
+			}
+			if !strings.Contains(err.Error(), tt.errSub) {
+				t.Errorf("ParseScenario(%q) error %q, want substring %q", tt.in, err, tt.errSub)
+			}
+		})
+	}
+}
+
+// FuzzParseScenario asserts the parser never panics and that every
+// accepted scenario obeys the invariants the engine relies on.
+func FuzzParseScenario(f *testing.F) {
+	f.Add("web1@5:poweroff,web1@9:poweron")
+	f.Add("db1@12:migrate:2:3")
+	f.Add("web9@4:hotplug:1:xlarge:acme:cpu-burst:77")
+	f.Add("host:0@20:drain:2,host:0@30:undrain")
+	f.Add("grp:api@10:autoscale:1:4")
+	f.Add("a@1:remove")
+	f.Add("@@::,,")
+	f.Fuzz(func(t *testing.T, in string) {
+		evs, err := ParseScenario(in)
+		if err != nil {
+			return
+		}
+		if len(evs) == 0 {
+			t.Fatal("accepted scenario with zero events")
+		}
+		last := 0
+		for _, ev := range evs {
+			if ev.Tick < 1 {
+				t.Fatalf("accepted tick %d < 1: %+v", ev.Tick, ev)
+			}
+			if ev.Tick < last {
+				t.Fatalf("events not sorted by tick: %+v", evs)
+			}
+			last = ev.Tick
+			switch ev.Kind {
+			case ScenarioPowerOn, ScenarioPowerOff, ScenarioRemove:
+				if ev.Subject == "" || ev.Host >= 0 {
+					t.Fatalf("VM event with host subject: %+v", ev)
+				}
+			case ScenarioMigrate:
+				if ev.Dest < 0 || ev.CopyTicks < 0 {
+					t.Fatalf("bad migrate: %+v", ev)
+				}
+			case ScenarioHotplug:
+				if ev.Dest < 0 || ev.Tenant == "" {
+					t.Fatalf("bad hotplug: %+v", ev)
+				}
+			case ScenarioDrain:
+				if ev.Host < 0 || ev.CopyTicks < 0 {
+					t.Fatalf("bad drain: %+v", ev)
+				}
+			case ScenarioUndrain:
+				if ev.Host < 0 {
+					t.Fatalf("bad undrain: %+v", ev)
+				}
+			case ScenarioAutoscale:
+				if ev.Subject == "" || ev.Min < 0 || ev.Max < ev.Min {
+					t.Fatalf("bad autoscale: %+v", ev)
+				}
+			default:
+				t.Fatalf("accepted unknown kind %q", ev.Kind)
+			}
+		}
+	})
+}

@@ -813,11 +813,14 @@ func (e *Estimator) fallbackAllocation(snap hypervisor.Snapshot, measuredTotal f
 	alloc.Prov.TierReason = reasonFallback
 	members := e.runningMembers(snap)
 	if len(members) == 0 {
+		alloc.DynamicPower = 0
 		return e.attributeIdle(alloc, members), nil
 	}
 	weights := make([]float64, n)
 	var total float64
-	if e.cfg.Fallback == FallbackHold && e.lastShares != nil {
+	// The length check (not just nil) protects against a roster that grew
+	// since the shares were remembered (hot-plug between ticks).
+	if e.cfg.Fallback == FallbackHold && len(e.lastShares) == n {
 		for _, i := range members {
 			w := math.Max(e.lastShares[i], 0)
 			weights[i] = w
@@ -887,6 +890,11 @@ func (e *Estimator) estimateSpan(snap hypervisor.Snapshot, measuredTotal float64
 		PerVM:         make([]float64, n),
 	}
 	if running.IsEmpty() {
+		// With no VM running every watt is idle by definition (Remark 1);
+		// a noisy meter reading above the calibrated idle average must
+		// not surface as unattributable dynamic power — Σφ is exactly 0
+		// here and Efficiency would be violated by any dyn > 0.
+		alloc.DynamicPower = 0
 		alloc.Method = "exact"
 		alloc.Prov.Tier = TierMaskExact
 		alloc.Prov.TierReason = reasonNoRunning
@@ -1021,6 +1029,38 @@ func (e *Estimator) ensurePlan() *vhc.Plan {
 	return p
 }
 
+// InvalidatePlan discards the compiled worth plan and every cross-tick
+// structure keyed on the VM set's shape: the incremental worth table,
+// the symmetry scratch and the fallback-hold proportions. Call it after
+// mutating the host's roster (hypervisor.Host.AddVM) — the approximator
+// epoch only tracks the model, not the set, so without this the next
+// tick would evaluate a plan compiled for the old n. Same
+// single-goroutine contract as EstimateTickSpan.
+func (e *Estimator) InvalidatePlan() {
+	e.plan = nil
+	e.planTried = false
+	e.scratch.valid = false
+	e.scratch.plan = nil
+	e.sym.prevValid = false
+	e.sym.prevPlan = nil
+	e.lastShares = nil
+}
+
+// CalibratedForClass reports whether offline collection trained a model
+// for the given catalog type's VHC class on this host — the gate a
+// hot-plug or migration destination must pass: a VM of a class the host
+// never calibrated cannot be estimated there (every sub-coalition combo
+// containing the class is untrained), and would quarantine the host on
+// its first tick. Because calibration trains every combination of the
+// classes present, and admission preserves "present ⊆ calibrated",
+// checking the singleton combo suffices.
+func (e *Estimator) CalibratedForClass(t vm.TypeID) bool {
+	if !e.trained || int(t) < 0 || int(t) >= len(e.classes.ByType) {
+		return false
+	}
+	return e.approx.Trained(vhc.ComboMask(1) << uint(e.classes.ByType[t]))
+}
+
 // planWorth is buildWorth over a compiled plan: the same coalition
 // semantics (measured dynamic power for the running grand coalition, 0
 // for the empty set, stopped VMs masked out as dummies) with vhc.Plan.Eval
@@ -1100,6 +1140,9 @@ func (e *Estimator) estimateTick(snap hypervisor.Snapshot, measuredTotal float64
 		DynamicPower:  dyn,
 	}
 	if len(members) == 0 {
+		// See estimateSpan's empty-coalition branch: all idle, no
+		// dynamic power to disaggregate regardless of meter noise.
+		alloc.DynamicPower = 0
 		alloc.Method = "exact"
 		alloc.PerVM = make([]float64, n)
 		alloc.Prov.Tier = TierMaskExact

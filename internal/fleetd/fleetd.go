@@ -26,6 +26,7 @@ import (
 	"vmpower/internal/core"
 	"vmpower/internal/fleet"
 	"vmpower/internal/obs"
+	"vmpower/internal/scenario"
 )
 
 // HostJSON is the wire form of one host's status.
@@ -43,6 +44,28 @@ type HostJSON struct {
 	VMs              []string `json:"vms"`
 }
 
+// EventJSON is the wire form of one lifecycle event journaled on a tick.
+type EventJSON struct {
+	Type    string `json:"type"`
+	Subject string `json:"subject"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// MigrationJSON is the wire form of one open live-migration copy window
+// (mirrors fleet.MigrationStatus: both sides metered, the ledger says
+// which sides the rollup accounted).
+type MigrationJSON struct {
+	Name          string  `json:"name"`
+	From          int     `json:"from"`
+	To            int     `json:"to"`
+	CopyTick      int     `json:"copy_tick"`
+	CopyTicks     int     `json:"copy_ticks"`
+	FromWatts     float64 `json:"from_watts"`
+	ToWatts       float64 `json:"to_watts"`
+	FromAccounted bool    `json:"from_accounted"`
+	ToAccounted   bool    `json:"to_accounted"`
+}
+
 // TickJSON is the wire form of one fleet tick.
 type TickJSON struct {
 	Tick               int                `json:"tick"`
@@ -53,8 +76,12 @@ type TickJSON struct {
 	Degraded           bool               `json:"degraded,omitempty"`
 	DegradedHosts      int                `json:"degraded_hosts,omitempty"`
 	QuarantinedHosts   int                `json:"quarantined_hosts,omitempty"`
+	DrainingHosts      int                `json:"draining_hosts,omitempty"`
+	DrainedHosts       int                `json:"drained_hosts,omitempty"`
 	IdleUnmeteredHosts int                `json:"idle_unmetered_hosts,omitempty"`
 	Unaccounted        []string           `json:"unaccounted,omitempty"`
+	Events             []EventJSON        `json:"events,omitempty"`
+	Migrations         []MigrationJSON    `json:"migrations,omitempty"`
 	Hosts              []HostJSON         `json:"hosts"`
 }
 
@@ -70,6 +97,31 @@ type StatusJSON struct {
 	Quarantines   int        `json:"quarantines"`
 	Readmits      int        `json:"readmits"`
 	HostStates    []HostJSON `json:"host_states"`
+}
+
+// GroupJSON is the wire form of one autoscale group.
+type GroupJSON struct {
+	Prefix  string `json:"prefix"`
+	Min     int    `json:"min"`
+	Max     int    `json:"max"`
+	Target  int    `json:"target"`
+	Running int    `json:"running"`
+	Members int    `json:"members"`
+}
+
+// ScenarioJSON is the wire form of /api/v1/scenario: scripted-event
+// progress, the active autoscale groups, and the fleet's migration
+// totals.
+type ScenarioJSON struct {
+	Events              int         `json:"events"`
+	Applied             int         `json:"applied"`
+	Refused             int         `json:"refused"`
+	NextTick            int         `json:"next_tick,omitempty"`
+	Done                bool        `json:"done"`
+	Groups              []GroupJSON `json:"groups,omitempty"`
+	MigrationsActive    int         `json:"migrations_active"`
+	MigrationsCompleted int         `json:"migrations_completed"`
+	MigrationsAborted   int         `json:"migrations_aborted"`
 }
 
 // EnergyJSON is the wire form of the cumulative energy counters. The
@@ -95,6 +147,8 @@ type HealthJSON struct {
 	HealthyHosts       int     `json:"healthy_hosts"`
 	DegradedHosts      int     `json:"degraded_hosts"`
 	QuarantinedHosts   int     `json:"quarantined_hosts"`
+	DrainingHosts      int     `json:"draining_hosts,omitempty"`
+	DrainedHosts       int     `json:"drained_hosts,omitempty"`
 	Ticks              int     `json:"ticks_estimated"`
 	LastTickAgeSeconds float64 `json:"last_tick_age_seconds,omitempty"`
 	// HostReasons maps host index → degradation/quarantine reason for
@@ -106,6 +160,9 @@ type HealthJSON struct {
 // Server aggregates fleet ticks and serves them.
 type Server struct {
 	f *fleet.Fleet
+	// engine is the optional lifecycle scenario driver; owned by the Step
+	// goroutine (its Apply mutates the fleet roster between ticks).
+	engine *scenario.Engine
 
 	// telemetry is nil until Instrument; Step and the HTTP middleware
 	// pay one atomic load to find out.
@@ -122,6 +179,12 @@ type Server struct {
 	readmits      int
 	lastTickAt    time.Time
 	lastErr       string
+	// vms and tenants are roster snapshots refreshed by Step: handlers
+	// must not call fleet accessors directly once a scenario can mutate
+	// the roster from the Step goroutine.
+	vms      []string
+	tenants  []string
+	scenario *ScenarioJSON
 }
 
 // New builds a Server over a (to-be-)calibrated fleet.
@@ -129,7 +192,44 @@ func New(f *fleet.Fleet) (*Server, error) {
 	if f == nil {
 		return nil, errors.New("fleetd: nil fleet")
 	}
-	return &Server{f: f, now: time.Now, createdAt: time.Now()}, nil
+	return &Server{
+		f: f, now: time.Now, createdAt: time.Now(),
+		vms: f.VMNames(), tenants: f.Tenants(),
+	}, nil
+}
+
+// SetScenario installs a lifecycle scenario engine: every Step first
+// applies the events due for the next tick (and one autoscale pass),
+// then advances the fleet. Call before the serve loop starts; the
+// engine is driven from the Step goroutine only.
+func (s *Server) SetScenario(e *scenario.Engine) {
+	s.engine = e
+	s.mu.Lock()
+	s.scenario = s.scenarioJSON()
+	s.mu.Unlock()
+}
+
+// scenarioJSON snapshots scenario progress. Step-goroutine only (the
+// engine and fleet counters are not lock-protected); callers hold s.mu
+// for the write to s.scenario.
+func (s *Server) scenarioJSON() *ScenarioJSON {
+	st := s.engine.Status()
+	out := &ScenarioJSON{
+		Events:   st.Events,
+		Applied:  st.Applied,
+		Refused:  st.Refused,
+		NextTick: st.NextTick,
+		Done:     s.engine.Done(),
+	}
+	for _, g := range st.Groups {
+		out.Groups = append(out.Groups, GroupJSON{
+			Prefix: g.Prefix, Min: g.Min, Max: g.Max,
+			Target: g.Target, Running: g.Running, Members: g.Members,
+		})
+	}
+	out.MigrationsActive = s.f.ActiveMigrations()
+	out.MigrationsCompleted, out.MigrationsAborted = s.f.MigrationTotals()
+	return out
 }
 
 // Step advances the fleet one tick and records the result for the HTTP
@@ -139,6 +239,9 @@ func New(f *fleet.Fleet) (*Server, error) {
 func (s *Server) Step() (*fleet.Tick, error) {
 	o := s.telemetry.Load()
 	start := time.Now()
+	if s.engine != nil {
+		s.engine.Apply()
+	}
 	tick, err := s.f.Step()
 	if err != nil {
 		o.noteTickError(err)
@@ -149,9 +252,20 @@ func (s *Server) Step() (*fleet.Tick, error) {
 	}
 	wire := wireTick(tick)
 	energy := energyJSON(s.f)
+	vms := s.f.VMNames()
+	tenants := s.f.Tenants()
+	var scen *ScenarioJSON
+	if s.engine != nil {
+		scen = s.scenarioJSON()
+	}
 	s.mu.Lock()
 	s.latest = wire
 	s.energy = energy
+	s.vms = vms
+	s.tenants = tenants
+	if scen != nil {
+		s.scenario = scen
+	}
 	s.ticks++
 	if tick.Degraded {
 		s.degradedTicks++
@@ -212,9 +326,22 @@ func wireTick(tick *fleet.Tick) *TickJSON {
 		Degraded:           tick.Degraded,
 		DegradedHosts:      tick.DegradedHosts,
 		QuarantinedHosts:   tick.QuarantinedHosts,
+		DrainingHosts:      tick.DrainingHosts,
+		DrainedHosts:       tick.DrainedHosts,
 		IdleUnmeteredHosts: tick.IdleUnmeteredHosts,
 		Unaccounted:        append([]string(nil), tick.Unaccounted...),
 		Hosts:              wireHosts(tick.Hosts),
+	}
+	for _, ev := range tick.Events {
+		wire.Events = append(wire.Events, EventJSON{Type: ev.Type, Subject: ev.Subject, Detail: ev.Detail})
+	}
+	for _, m := range tick.Migrations {
+		wire.Migrations = append(wire.Migrations, MigrationJSON{
+			Name: m.Name, From: m.From, To: m.To,
+			CopyTick: m.CopyTick, CopyTicks: m.CopyTicks,
+			FromWatts: m.FromWatts, ToWatts: m.ToWatts,
+			FromAccounted: m.FromAccounted, ToAccounted: m.ToAccounted,
+		})
 	}
 	for name, w := range tick.PerVM {
 		wire.PerVM[name] = w
@@ -270,6 +397,7 @@ func energyJSON(f *fleet.Fleet) EnergyJSON {
 //	GET /api/v1/status     — pool layout, per-host states, transition counts
 //	GET /api/v1/allocation — the most recent fleet tick
 //	GET /api/v1/energy     — cumulative per-tenant energy (degraded slice broken out)
+//	GET /api/v1/scenario   — lifecycle scenario progress (404 without a scenario)
 //	GET /healthz           — liveness ladder (503 only when all hosts are lost)
 //
 // When the server is instrumented (call Instrument before Handler), the
@@ -283,6 +411,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/status", s.instrumented("/api/v1/status", s.handleStatus))
 	mux.HandleFunc("GET /api/v1/allocation", s.instrumented("/api/v1/allocation", s.handleAllocation))
 	mux.HandleFunc("GET /api/v1/energy", s.instrumented("/api/v1/energy", s.handleEnergy))
+	mux.HandleFunc("GET /api/v1/scenario", s.instrumented("/api/v1/scenario", s.handleScenario))
 	mux.HandleFunc("GET /healthz", s.instrumented("/healthz", s.handleHealthz))
 	if o := s.telemetry.Load(); o != nil {
 		mux.HandleFunc("GET /metrics", s.instrumented("/metrics", o.reg.Handler().ServeHTTP))
@@ -358,7 +487,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 		h.DegradedHosts = latest.DegradedHosts
 		h.QuarantinedHosts = latest.QuarantinedHosts
-		h.HealthyHosts = h.Hosts - h.DegradedHosts - h.QuarantinedHosts
+		h.DrainingHosts = latest.DrainingHosts
+		h.DrainedHosts = latest.DrainedHosts
+		// Draining/drained hosts are planned maintenance, not
+		// degradation: they leave the healthy count but never flip the
+		// ladder off "ok" on their own.
+		h.HealthyHosts = h.Hosts - h.DegradedHosts - h.QuarantinedHosts - h.DrainingHosts - h.DrainedHosts
 		for _, hj := range latest.Hosts {
 			if hj.State != fleet.HostHealthy.String() {
 				if h.HostReasons == nil {
@@ -387,12 +521,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	quarantines := s.quarantines
 	readmits := s.readmits
 	latest := s.latest
+	vms := s.vms
+	tenants := s.tenants
 	s.mu.RUnlock()
 	st := StatusJSON{
 		Hosts:         s.f.Hosts(),
 		EmptyHosts:    s.f.EmptyHosts(),
-		VMs:           s.f.VMNames(),
-		Tenants:       s.f.Tenants(),
+		VMs:           vms,
+		Tenants:       tenants,
 		Ticks:         ticks,
 		DegradedTicks: degradedTicks,
 		Quarantines:   quarantines,
@@ -414,6 +550,19 @@ func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, latest)
+}
+
+// handleScenario reports lifecycle scenario progress: 404 when the
+// daemon runs without a scenario.
+func (s *Server) handleScenario(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	scen := s.scenario
+	s.mu.RUnlock()
+	if scen == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "no scenario configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, scen)
 }
 
 func (s *Server) handleEnergy(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,284 @@
+package fleetd
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"vmpower/internal/cliutil"
+	"vmpower/internal/core"
+	"vmpower/internal/fleet"
+	"vmpower/internal/obs"
+	"vmpower/internal/scenario"
+)
+
+// lifecycleReqs mirrors the scenario package's acceptance rig under FFD
+// placement: host 0 is four xlarges (full), host 1 is three xlarges +
+// one large + four smalls (full), host 2 holds two smalls with 30 free
+// vCPUs — room for migrations and hot-plugs, with the small class
+// calibrated on both ends.
+func lifecycleReqs() []fleet.VMRequest {
+	reqs := []fleet.VMRequest{
+		{Name: "xa1", Tenant: "bob", Type: 3, Workload: "namd"},
+		{Name: "xa2", Tenant: "bob", Type: 3, Workload: "namd"},
+		{Name: "xa3", Tenant: "bob", Type: 3, Workload: "namd"},
+		{Name: "xa4", Tenant: "bob", Type: 3, Workload: "namd"},
+		{Name: "xb1", Tenant: "bob", Type: 3, Workload: "namd"},
+		{Name: "xb2", Tenant: "bob", Type: 3, Workload: "namd"},
+		{Name: "xb3", Tenant: "bob", Type: 3, Workload: "namd"},
+		{Name: "lg1", Tenant: "carol", Type: 2, Workload: "omnetpp"},
+		{Name: "s1", Tenant: "alice", Type: 0, Workload: "gcc"},
+		{Name: "s2", Tenant: "alice", Type: 0, Workload: "gcc"},
+		{Name: "s3", Tenant: "alice", Type: 0, Workload: "gcc"},
+		{Name: "s4", Tenant: "alice", Type: 0, Workload: "gcc"},
+		{Name: "s5", Tenant: "alice", Type: 0, Workload: "gcc"},
+		{Name: "s6", Tenant: "alice", Type: 0, Workload: "gcc"},
+	}
+	for i := range reqs {
+		reqs[i].WorkloadSeed = int64(200 + i)
+	}
+	return reqs
+}
+
+// lifecycleScript exercises every lifecycle event class in 30 ticks:
+// a power cycle, a live migration, a hot-plug + removal, a full
+// drain/undrain of host 1 (which itself migrates and stops VMs), and a
+// bursty autoscale group over the smalls.
+const lifecycleScript = "s1@3:poweroff,s1@6:poweron,s2@5:migrate:2:2," +
+	"n1@4:hotplug:2:small:dave:gcc:77,n1@15:remove," +
+	"host:1@8:drain:1,host:1@14:undrain,grp:s@10:autoscale:2:6"
+
+var lifecycleTypeSet = map[string]bool{
+	fleet.EventPowerOn: true, fleet.EventPowerOff: true,
+	fleet.EventHotplug: true, fleet.EventRemove: true,
+	fleet.EventMigrateStart: true, fleet.EventMigrateFinish: true,
+	fleet.EventDrainStart: true, fleet.EventDrainFinish: true,
+	fleet.EventUndrain: true,
+}
+
+// TestLifecycleJournalExactlyOnce is the daemon-side acceptance test for
+// the scenario surface: every lifecycle event the fleet emits appears in
+// the journal exactly once, in sequence order, with its per-type counter
+// matching; the rollup conservation audit never fires; open migration
+// windows travel the /api/v1/allocation wire; drain shows up on /healthz
+// without flipping the ladder off "ok"; and the roster snapshots served
+// by /api/v1/status stay race-free against concurrent scrapers while the
+// scenario mutates the fleet (run under -race).
+func TestLifecycleJournalExactlyOnce(t *testing.T) {
+	const ticks = 30
+	f, err := fleet.New(fleet.Config{
+		Hosts:            3,
+		Seed:             11,
+		MeterNoise:       0.05,
+		CalibrationTicks: 6,
+		Parallelism:      -1,
+	}, lifecycleReqs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv.Instrument(reg, obs.NewLogger(io.Discard, obs.LevelError, obs.FormatKV), time.Minute)
+	srv.EnableAudit(core.AuditConfig{DeepEvery: 10})
+
+	events, err := cliutil.ParseScenario(lifecycleScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := scenario.New(f, events, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetScenario(engine)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Concurrent scrapers race every roster-reading endpoint against the
+	// scenario's mutations; -race is the assertion.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/api/v1/status", "/api/v1/scenario", "/api/v1/allocation", "/healthz"} {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + p)
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(path)
+	}
+
+	var want []edge
+	sawOpenWindow, sawDrainOK := false, false
+	for i := 0; i < ticks; i++ {
+		tick, err := srv.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", i+1, err)
+		}
+		for _, ev := range tick.Events {
+			if !lifecycleTypeSet[ev.Type] {
+				t.Fatalf("tick %d: unknown lifecycle event type %q", tick.Tick, ev.Type)
+			}
+			want = append(want, edge{ev.Type, ev.Subject})
+		}
+		if len(tick.Migrations) > 0 {
+			sawOpenWindow = true
+			var alloc TickJSON
+			if code := getJSON(t, ts, "/api/v1/allocation", &alloc); code != 200 {
+				t.Fatalf("allocation = %d", code)
+			}
+			if len(alloc.Migrations) != len(tick.Migrations) {
+				t.Fatalf("tick %d: wire has %d migration windows, fleet %d",
+					tick.Tick, len(alloc.Migrations), len(tick.Migrations))
+			}
+		}
+		if tick.DrainedHosts > 0 && !tick.Degraded {
+			var h HealthJSON
+			if code := getJSON(t, ts, "/healthz", &h); code != 200 {
+				t.Fatalf("healthz during drain = %d", code)
+			}
+			if h.Status != "ok" {
+				t.Fatalf("tick %d: drain flipped /healthz to %q", tick.Tick, h.Status)
+			}
+			if h.DrainedHosts != tick.DrainedHosts {
+				t.Fatalf("tick %d: healthz drained_hosts = %d, fleet %d", tick.Tick, h.DrainedHosts, tick.DrainedHosts)
+			}
+			if h.HealthyHosts != h.Hosts-h.DegradedHosts-h.QuarantinedHosts-h.DrainingHosts-h.DrainedHosts {
+				t.Fatalf("tick %d: healthy count ignores drain: %+v", tick.Tick, h)
+			}
+			sawDrainOK = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if !sawOpenWindow {
+		t.Fatal("no migration window ever traveled the wire")
+	}
+	if !sawDrainOK {
+		t.Fatal("never observed a drained, undegraded tick on /healthz")
+	}
+	counts := map[string]int{}
+	for _, e := range want {
+		counts[e.typ]++
+	}
+	for typ := range lifecycleTypeSet {
+		if counts[typ] == 0 {
+			t.Errorf("scenario never produced %s", typ)
+		}
+	}
+
+	// Conservation held on every rollup despite the churn.
+	if v := reg.Counter("vmpower_fleet_audit_checks_total", "").Value(); v != ticks {
+		t.Fatalf("fleet audit checks = %d, want %d", v, ticks)
+	}
+	if v := reg.Counter("vmpower_fleet_audit_violations_total", "").Value(); v != 0 {
+		t.Fatalf("fleet audit violations = %d, want 0", v)
+	}
+
+	// The journal carries exactly the ground-truth lifecycle events, in
+	// order, exactly once each.
+	var page obs.EventsJSON
+	if code := getJSON(t, ts, "/api/v1/events?since=0", &page); code != 200 {
+		t.Fatalf("events = %d", code)
+	}
+	var got []edge
+	var lastSeq uint64
+	for _, ev := range page.Events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("journal seqs not strictly increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if lifecycleTypeSet[ev.Type] {
+			got = append(got, edge{ev.Type, ev.Subject})
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("journal has %d lifecycle events, fleet emitted %d:\n got %v\nwant %v",
+			len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: journal %+v, fleet %+v", i, got[i], want[i])
+		}
+	}
+
+	// Per-type counters match the ground truth.
+	for typ := range lifecycleTypeSet {
+		v := reg.Counter("vmpower_fleet_lifecycle_events_total", "", obs.L("type", typ)).Value()
+		if int(v) != counts[typ] {
+			t.Errorf("lifecycle counter %s = %d, fleet emitted %d", typ, v, counts[typ])
+		}
+	}
+
+	// The scenario surface agrees with the fleet's migration ledger.
+	var scen ScenarioJSON
+	if code := getJSON(t, ts, "/api/v1/scenario", &scen); code != 200 {
+		t.Fatalf("scenario = %d", code)
+	}
+	if !scen.Done {
+		t.Fatalf("script not done after %d ticks: %+v", ticks, scen)
+	}
+	done, aborted := f.MigrationTotals()
+	if scen.MigrationsCompleted != done || scen.MigrationsAborted != aborted {
+		t.Fatalf("scenario reports %d/%d migrations, fleet %d/%d",
+			scen.MigrationsCompleted, scen.MigrationsAborted, done, aborted)
+	}
+	if done == 0 {
+		t.Fatal("no migration ever completed")
+	}
+
+	// The roster snapshot reflects the churn: n1 was removed, but its
+	// tenant stays on the books (its energy is billed forever).
+	var st StatusJSON
+	if code := getJSON(t, ts, "/api/v1/status", &st); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	for _, name := range st.VMs {
+		if name == "n1" {
+			t.Fatal("removed VM n1 still in /api/v1/status roster")
+		}
+	}
+	foundDave := false
+	for _, tn := range st.Tenants {
+		if tn == "dave" {
+			foundDave = true
+		}
+	}
+	if !foundDave {
+		t.Fatalf("hot-plugged tenant dave missing from /api/v1/status: %v", st.Tenants)
+	}
+}
+
+// TestScenarioEndpointWithoutScenario pins the 404 contract.
+func TestScenarioEndpointWithoutScenario(t *testing.T) {
+	f := smallFleet(t)
+	srv, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var e errorJSON
+	if code := getJSON(t, ts, "/api/v1/scenario", &e); code != 404 {
+		t.Fatalf("scenario without engine = %d, want 404", code)
+	}
+}

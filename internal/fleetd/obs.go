@@ -3,6 +3,7 @@ package fleetd
 import (
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,7 @@ var endpoints = []string{
 	"/api/v1/allocation",
 	"/api/v1/energy",
 	"/api/v1/events",
+	"/api/v1/scenario",
 	"/debug/flight",
 	"/healthz",
 	"/metrics",
@@ -29,7 +31,19 @@ var endpoints = []string{
 
 // hostStates enumerates the fleet host states so the
 // vmpower_fleet_hosts{state=...} gauge family is fixed at startup.
-var hostStates = []fleet.HostState{fleet.HostHealthy, fleet.HostDegraded, fleet.HostQuarantined}
+var hostStates = []fleet.HostState{
+	fleet.HostHealthy, fleet.HostDegraded, fleet.HostQuarantined,
+	fleet.HostDraining, fleet.HostDrained,
+}
+
+// lifecycleTypes is the fixed journal vocabulary for roster/drain
+// events, bounding the vmpower_fleet_lifecycle_events_total label set.
+var lifecycleTypes = []string{
+	fleet.EventPowerOn, fleet.EventPowerOff,
+	fleet.EventHotplug, fleet.EventRemove,
+	fleet.EventMigrateStart, fleet.EventMigrateFinish,
+	fleet.EventDrainStart, fleet.EventDrainFinish, fleet.EventUndrain,
+}
 
 // serverObs bundles the fleet daemon's observability surface. All
 // methods are nil-safe: an uninstrumented Server carries a nil
@@ -59,6 +73,13 @@ type serverObs struct {
 	fleetAuditChecks     *obs.Counter
 	fleetAuditViolations *obs.Counter
 
+	// Lifecycle surface: one counter per journal event type (fixed
+	// vocabulary), plus the migration ledger gauges.
+	lifecycle    map[string]*obs.Counter
+	migActive    *obs.Gauge
+	migCompleted *obs.Counter
+	migAborted   *obs.Counter
+
 	http map[string]httpMetrics
 
 	// Provenance surface: the event journal, the flight recorder and the
@@ -74,7 +95,7 @@ type serverObs struct {
 
 	// Step-goroutine state (same single-driver contract as Server.Step):
 	// per-host edge detection and the reusable flight-record scratch.
-	order        []string // VM names, request order (fixed)
+	order        []string // VM names, admission order (grows on hot-plug)
 	prevStates   []fleet.HostState
 	prevTiers    []string
 	prevTickWall time.Time
@@ -154,6 +175,13 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 			"fleet ticks cross-checked for rollup energy conservation"),
 		fleetAuditViolations: reg.Counter("vmpower_fleet_audit_violations_total",
 			"fleet rollup conservation violations"),
+		lifecycle: make(map[string]*obs.Counter, len(lifecycleTypes)),
+		migActive: reg.Gauge("vmpower_fleet_migrations_active",
+			"open live-migration copy windows at the last tick"),
+		migCompleted: reg.Counter("vmpower_fleet_migrations_total",
+			"live migrations closed", obs.L("result", "completed")),
+		migAborted: reg.Counter("vmpower_fleet_migrations_total",
+			"live migrations closed", obs.L("result", "aborted")),
 		http:       make(map[string]httpMetrics, len(endpoints)),
 		journal:    obs.NewJournal(0),
 		flight:     obs.NewFlightRecorder(0, len(s.f.VMNames()), 0),
@@ -169,6 +197,10 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 	for _, st := range hostStates {
 		o.hostsBy[st] = reg.Gauge("vmpower_fleet_hosts",
 			"hosts by degradation state at the last tick", obs.L("state", st.String()))
+	}
+	for _, typ := range lifecycleTypes {
+		o.lifecycle[typ] = reg.Counter("vmpower_fleet_lifecycle_events_total",
+			"lifecycle events journaled", obs.L("type", typ))
 	}
 	for _, tenant := range tenants {
 		o.tenantWatts[tenant] = reg.Gauge("vmpower_fleet_tenant_watts",
@@ -217,7 +249,10 @@ func (o *serverObs) noteTick(now time.Time, dur time.Duration, tick *fleet.Tick,
 	for _, hs := range tick.Hosts {
 		counts[hs.State]++
 		o.hostWatts[hs.Host].Set(hs.MeasuredWatts)
-		if hs.State != fleet.HostHealthy && o.log.Enabled(obs.LevelWarn) {
+		// Draining/drained are planned maintenance states, not faults:
+		// their lifecycle events already log the transition once.
+		planned := hs.State == fleet.HostDraining || hs.State == fleet.HostDrained
+		if hs.State != fleet.HostHealthy && !planned && o.log.Enabled(obs.LevelWarn) {
 			o.log.Warn("host not healthy",
 				"tick", tick.Tick,
 				"host", hs.Host,
@@ -229,7 +264,16 @@ func (o *serverObs) noteTick(now time.Time, dur time.Duration, tick *fleet.Tick,
 		o.hostsBy[st].Set(float64(counts[st]))
 	}
 	for tenant, w := range wire.PerTenant {
-		o.tenantWatts[tenant].Set(w)
+		g, ok := o.tenantWatts[tenant]
+		if !ok {
+			// A hot-plugged VM can introduce a tenant the fleet had never
+			// billed when Instrument ran; register its gauge on first sight
+			// (noteTick runs on the Step goroutine only).
+			g = o.reg.Gauge("vmpower_fleet_tenant_watts",
+				"per-tenant attributed power at the last tick", obs.L("tenant", tenant))
+			o.tenantWatts[tenant] = g
+		}
+		g.Set(w)
 	}
 	// Tenants wholly on quarantined hosts drop out of PerTenant; zero
 	// their gauges rather than freezing the last attributed value.
@@ -264,6 +308,28 @@ func (o *serverObs) noteProvenance(s *Server, now time.Time, tick *fleet.Tick) {
 	}
 	o.prevTickWall = now
 
+	// Lifecycle events first: each fleet event is drained into exactly
+	// one Tick, so appending the batch here gives the journal the
+	// exactly-once guarantee for free. Hot-plugs also grow the flight
+	// recorder's name order.
+	for _, ev := range tick.Events {
+		o.journal.Append(tick.Tick, ev.Type, ev.Subject, ev.Detail)
+		if c, ok := o.lifecycle[ev.Type]; ok {
+			c.Inc()
+		}
+		switch ev.Type {
+		case fleet.EventHotplug:
+			o.order = append(o.order, ev.Subject)
+		case fleet.EventMigrateFinish:
+			if strings.HasPrefix(ev.Detail, "aborted") {
+				o.migAborted.Inc()
+			} else {
+				o.migCompleted.Inc()
+			}
+		}
+	}
+	o.migActive.Set(float64(len(tick.Migrations)))
+
 	for i := range tick.Hosts {
 		hs := &tick.Hosts[i]
 		subject := "host:" + strconv.Itoa(hs.Host)
@@ -274,6 +340,11 @@ func (o *serverObs) noteProvenance(s *Server, now time.Time, tick *fleet.Tick) {
 				o.armDump("quarantine: " + subject)
 			case prev == fleet.HostQuarantined:
 				o.journal.Append(tick.Tick, "readmit", subject, "readmitted "+hs.State.String())
+			case hs.State == fleet.HostDraining, hs.State == fleet.HostDrained,
+				prev == fleet.HostDraining, prev == fleet.HostDrained:
+				// Drain transitions already journal as drain_start /
+				// drain_finish / undrain lifecycle events; a state edge on
+				// top would double-report them.
 			case hs.State == fleet.HostDegraded:
 				o.journal.Append(tick.Tick, "degraded", subject, hs.Reason)
 			default:

@@ -40,6 +40,7 @@ type Host struct {
 	workloads []workload.Generator
 	epochs    []int     // tick at which each VM's workload was attached
 	cpuLimits []float64 // per-VM CPU ceiling, 0..1 (1 = unthrottled)
+	retired   []bool    // permanently stopped slots (removed/migrated-away VMs)
 }
 
 // NewHost builds a host for the VM set on the machine. All VMs start
@@ -73,6 +74,7 @@ func NewHost(mach *machine.Machine, set *vm.Set, opts ...Option) (*Host, error) 
 		workloads:  make([]workload.Generator, set.Len()),
 		epochs:     make([]int, set.Len()),
 		cpuLimits:  make([]float64, set.Len()),
+		retired:    make([]bool, set.Len()),
 	}
 	for i := range h.cpuLimits {
 		h.cpuLimits[i] = 1
@@ -103,18 +105,25 @@ func (h *Host) Attach(id vm.ID, g workload.Generator) error {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.retired[int(id)] {
+		return fmt.Errorf("hypervisor: VM %d is retired", int(id))
+	}
 	h.workloads[int(id)] = g
 	h.epochs[int(id)] = h.tick
 	return nil
 }
 
-// Start boots a VM. Starting a running VM is a no-op.
+// Start boots a VM. Starting a running VM is a no-op; starting a retired
+// slot is an error (the VM left this host for good).
 func (h *Host) Start(id vm.ID) error {
 	if _, err := h.set.VM(id); err != nil {
 		return err
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.retired[int(id)] {
+		return fmt.Errorf("hypervisor: VM %d is retired", int(id))
+	}
 	h.running[int(id)] = true
 	return nil
 }
@@ -130,27 +139,120 @@ func (h *Host) Stop(id vm.ID) error {
 	return nil
 }
 
-// SetCoalition starts exactly the VMs in mask and stops the rest. On a
-// wide host (more than vm.MaxPlayers VMs) a mask can only address the
-// first vm.MaxPlayers VMs; use SetRunning there.
+// SetCoalition starts exactly the VMs in mask and stops the rest
+// (retired slots stay stopped whatever the mask says). On a wide host
+// (more than vm.MaxPlayers VMs) a mask can only address the first
+// vm.MaxPlayers VMs; use SetRunning there.
 func (h *Host) SetCoalition(mask vm.Coalition) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.running {
-		h.running[i] = mask.Contains(vm.ID(i))
+		h.running[i] = mask.Contains(vm.ID(i)) && !h.retired[i]
 	}
 }
 
 // SetRunning starts exactly the VMs with running[i] true and stops the
 // rest — the wide-set equivalent of SetCoalition, usable at any set size.
+// Retired slots stay stopped.
 func (h *Host) SetRunning(running []bool) error {
 	if len(running) != h.set.Len() {
 		return fmt.Errorf("hypervisor: %d running flags for %d VMs", len(running), h.set.Len())
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	copy(h.running, running)
+	for i, r := range running {
+		h.running[i] = r && !h.retired[i]
+	}
 	return nil
+}
+
+// activeVCPUsLocked sums the vCPUs of the non-retired slots — the
+// capacity AddVM checks against: a retired VM's pinned cores are free
+// again, a merely stopped VM's are not (it may boot back any tick).
+func (h *Host) activeVCPUsLocked() (int, error) {
+	total := 0
+	for i := 0; i < h.set.Len(); i++ {
+		if h.retired[i] {
+			continue
+		}
+		t, err := h.set.TypeOf(vm.ID(i))
+		if err != nil {
+			return 0, err
+		}
+		total += t.VCPUs
+	}
+	return total, nil
+}
+
+// AddVM hot-plugs a VM past the static roster: the set grows by one slot
+// and the per-VM vectors grow with it. The new VM starts stopped with no
+// workload, exactly like a NewHost VM; capacity is checked against the
+// non-retired slots (the paper pins one vCPU per logical core). The
+// caller owns invalidating anything compiled against the old set width
+// (worth plans, scratch tables). Not safe concurrently with Collect or
+// estimation; mutate between ticks.
+func (h *Host) AddVM(v vm.VM) (vm.ID, error) {
+	t, err := h.set.Catalog().ByID(v.Type)
+	if err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	active, err := h.activeVCPUsLocked()
+	if err != nil {
+		return 0, err
+	}
+	if active+t.VCPUs > h.mach.Profile().LogicalCores() {
+		return 0, fmt.Errorf("%w: adding %d vCPUs to %d active, machine has %d logical cores",
+			machine.ErrOvercommit, t.VCPUs, active, h.mach.Profile().LogicalCores())
+	}
+	id, err := h.set.Append(v)
+	if err != nil {
+		return 0, err
+	}
+	h.running = append(h.running, false)
+	h.workloads = append(h.workloads, nil)
+	h.epochs = append(h.epochs, 0)
+	h.cpuLimits = append(h.cpuLimits, 1)
+	h.retired = append(h.retired, false)
+	return id, nil
+}
+
+// Retire permanently removes a VM from the host's live roster: the slot
+// is stopped, its workload detached, and its vCPUs released for AddVM
+// capacity. The dense ID space is preserved (coalition masks and PerVM
+// indices stay aligned), so the slot lingers as a stopped dummy — exact
+// Shapley gives it φ = 0 forever. Retiring a retired slot is a no-op.
+func (h *Host) Retire(id vm.ID) error {
+	if _, err := h.set.VM(id); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.running[int(id)] = false
+	h.workloads[int(id)] = nil
+	h.retired[int(id)] = true
+	return nil
+}
+
+// IsRunning reports whether a VM is currently running.
+func (h *Host) IsRunning(id vm.ID) (bool, error) {
+	if _, err := h.set.VM(id); err != nil {
+		return false, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.running[int(id)], nil
+}
+
+// Retired reports whether a slot was retired.
+func (h *Host) Retired(id vm.ID) (bool, error) {
+	if _, err := h.set.VM(id); err != nil {
+		return false, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.retired[int(id)], nil
 }
 
 // SetCPULimit caps a VM's CPU utilization at frac (0..1], the way a

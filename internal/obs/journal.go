@@ -17,9 +17,13 @@ import (
 type Event struct {
 	Seq  uint64 `json:"seq"`
 	Tick int    `json:"tick"`
-	// Type is a small fixed vocabulary ("tier_switch", "degraded",
-	// "recovered", "quarantine", "readmit", "plan_recompile",
-	// "plan_compile_error", "audit_violation", "flight_dump").
+	// Type is a small fixed vocabulary: health edges ("tier_switch",
+	// "degraded", "recovered", "quarantine", "readmit"), daemon events
+	// ("plan_recompile", "plan_compile_error", "audit_violation",
+	// "flight_dump"), and the VM lifecycle ("vm_poweron", "vm_poweroff",
+	// "vm_hotplug", "vm_remove", "migrate_start", "migrate_finish",
+	// "drain_start", "drain_finish", "undrain"). Lifecycle events are
+	// journaled exactly once: the fleet drains each into a single tick.
 	Type string `json:"type"`
 	// Subject scopes the event when the producer manages several
 	// entities (fleetd uses "host:<i>"); empty for daemon-wide events.

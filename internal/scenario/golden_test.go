@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmpower/internal/fleet"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden scenario outputs")
+
+// goldenScript is the 200-tick reference scenario: every event class,
+// spaced out so the pinned journal exercises copy windows, a full
+// drain/undrain cycle, roster growth and shrink, and a long autoscale
+// tail.
+const goldenScript = "s1@5:poweroff,s1@12:poweron," +
+	"s2@20:migrate:2:3," +
+	"n1@30:hotplug:2:small:dave:gcc:42," +
+	"host:1@50:drain:2,host:1@70:undrain," +
+	"n1@90:remove," +
+	"grp:s@100:autoscale:2:6"
+
+// goldenFile is the on-disk schema: the run's configuration note, the
+// cumulative per-tenant energy ledger, and the full lifecycle journal.
+type goldenFile struct {
+	Config           string             `json:"config"`
+	EnergyWhByTenant map[string]float64 `json:"energyWhByTenant"`
+	Journal          []string           `json:"journal"`
+}
+
+// TestGoldenScenario pins a 200-tick reference run byte-for-byte: any
+// drift in the simulation, the solvers, the lifecycle engine or the
+// event journal shows up as a diff against
+// results/golden/scenario200.json. Re-pin after an intentional change
+// with `go test ./internal/scenario/ -run TestGoldenScenario -update`.
+func TestGoldenScenario(t *testing.T) {
+	cfg := lifecycleConfig()
+	cfg.MeterNoise = 0.05 // seeded: noisy but reproducible
+	f := lifecycleFleet(t, cfg)
+	e := mustEngine(t, f, goldenScript, 99)
+
+	var journal []string
+	for i := 0; i < 200; i++ {
+		tk, err := e.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", i+1, err)
+		}
+		if problems := f.AuditConservation(tk, conservationTol); len(problems) != 0 {
+			t.Fatalf("tick %d: %s", tk.Tick, strings.Join(problems, "; "))
+		}
+		for _, ev := range tk.Events {
+			entry := fmt.Sprintf("%03d %s %s", tk.Tick, ev.Type, ev.Subject)
+			if ev.Detail != "" {
+				entry += " (" + ev.Detail + ")"
+			}
+			journal = append(journal, entry)
+		}
+	}
+	got := goldenFile{
+		Config:           "seed=11 noise=0.05 hosts=3 ticks=200 engineSeed=99",
+		EnergyWhByTenant: f.EnergyWhByTenant(),
+		Journal:          journal,
+	}
+	blob, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+
+	path := filepath.Join("..", "..", "results", "golden", "scenario200.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(blob, want) {
+		var pinned goldenFile
+		if err := json.Unmarshal(want, &pinned); err != nil {
+			t.Fatalf("golden file unreadable: %v", err)
+		}
+		for tenant, wh := range got.EnergyWhByTenant {
+			if pw := pinned.EnergyWhByTenant[tenant]; pw != wh {
+				t.Errorf("tenant %s: energy %g Wh, pinned %g Wh", tenant, wh, pw)
+			}
+		}
+		if len(got.Journal) != len(pinned.Journal) {
+			t.Errorf("journal has %d entries, pinned %d", len(got.Journal), len(pinned.Journal))
+		} else {
+			for i := range got.Journal {
+				if got.Journal[i] != pinned.Journal[i] {
+					t.Errorf("journal[%d] = %q, pinned %q", i, got.Journal[i], pinned.Journal[i])
+				}
+			}
+		}
+		t.Fatal("scenario golden drift (intentional? re-pin with -update)")
+	}
+
+	// The pinned run also proves the event classes all fired: the golden
+	// file is the exactly-once record for the whole 200 ticks.
+	counts := map[string]int{}
+	for _, entry := range journal {
+		counts[strings.Fields(entry)[1]]++
+	}
+	for _, typ := range []string{
+		fleet.EventPowerOn, fleet.EventPowerOff, fleet.EventHotplug,
+		fleet.EventRemove, fleet.EventMigrateStart, fleet.EventMigrateFinish,
+		fleet.EventDrainStart, fleet.EventDrainFinish, fleet.EventUndrain,
+	} {
+		if counts[typ] == 0 {
+			t.Errorf("reference scenario never journaled %s", typ)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package scenario drives a fleet.Fleet through a scripted VM lifecycle:
+// power-on/off edges, live migrations, maintenance drains, and seeded
+// bursty autoscaling — the churn real datacenters have and the paper's
+// fixed-roster accounting must survive without losing or double-counting
+// a single joule.
+//
+// The engine is deterministic: events come pre-sorted from the DSL
+// parser (internal/cliutil), autoscale targets come from one seeded
+// math/rand stream advanced a fixed number of draws per tick, and every
+// mutation happens between fleet Steps (the fleet mutator contract), so
+// a scenario run is a pure function of (fleet seed, scenario, engine
+// seed) at any Parallelism.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vmpower/internal/cliutil"
+	"vmpower/internal/fleet"
+)
+
+// Action is one engine decision: a scripted event applied (or refused)
+// before a tick, or an autoscale reconciliation step.
+type Action struct {
+	// Tick is the fleet tick the action preceded (== Tick.Tick of the
+	// Step that followed).
+	Tick int
+	// Op is the event kind (cliutil.Scenario* vocabulary; autoscale
+	// reconciliations use "autoscale_up" / "autoscale_down").
+	Op string
+	// Subject is the VM or host the action touched.
+	Subject string
+	// Detail narrates arguments ("-> host 2 copy=3").
+	Detail string
+	// Err is the refusal reason when the fleet rejected the action ("" on
+	// success). A refusal does not stop the scenario: chaos tests
+	// deliberately race events against quarantine.
+	Err string
+}
+
+// GroupStatus is one autoscale group's public state.
+type GroupStatus struct {
+	Prefix   string
+	Min, Max int
+	Target   int
+	Running  int
+	Members  int
+}
+
+// Status is the engine's public progress view.
+type Status struct {
+	// Events and Applied count scripted events total and applied so far;
+	// Refused counts events the fleet rejected.
+	Events  int
+	Applied int
+	Refused int
+	// NextTick is the tick of the next pending scripted event (0 when the
+	// script is exhausted).
+	NextTick int
+	// Groups are the active autoscale groups in activation order.
+	Groups []GroupStatus
+}
+
+type group struct {
+	prefix   string
+	min, max int
+	tmpl     fleet.VMRequest
+	target   int
+	seq      int // scale-out twin counter, monotonic
+}
+
+// Engine applies a parsed scenario to a fleet, one tick at a time.
+type Engine struct {
+	f       *fleet.Fleet
+	events  []cliutil.ScenarioEvent
+	next    int
+	rng     *rand.Rand
+	groups  []*group
+	applied int
+	refused int
+	log     []Action
+}
+
+// New builds an engine over a parsed scenario. Host indices referenced
+// by drain/undrain/migrate/hotplug events are validated against the
+// fleet up front; VM names are not (events may target VMs an earlier
+// hotplug creates). seed drives the autoscale burst stream only.
+func New(f *fleet.Fleet, events []cliutil.ScenarioEvent, seed int64) (*Engine, error) {
+	for _, ev := range events {
+		if ev.Host >= f.Hosts() {
+			return nil, fmt.Errorf("scenario: event %s@%d targets host %d, fleet has %d", ev.Kind, ev.Tick, ev.Host, f.Hosts())
+		}
+		if ev.Dest >= f.Hosts() {
+			return nil, fmt.Errorf("scenario: event %s@%d targets host %d, fleet has %d", ev.Kind, ev.Tick, ev.Dest, f.Hosts())
+		}
+	}
+	return &Engine{f: f, events: events, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Apply runs every scripted event due before the next fleet Step (those
+// with Tick == fleet.Ticks()+1) and one autoscale reconciliation pass,
+// returning the actions taken. Call exactly once before each Step; the
+// Step method does both.
+func (e *Engine) Apply() []Action {
+	tick := e.f.Ticks() + 1
+	mark := len(e.log)
+	for e.next < len(e.events) && e.events[e.next].Tick <= tick {
+		ev := e.events[e.next]
+		e.next++
+		e.applyEvent(tick, ev)
+	}
+	e.autoscale(tick)
+	return e.log[mark:]
+}
+
+// Step applies due events, then advances the fleet one tick.
+func (e *Engine) Step() (*fleet.Tick, error) {
+	e.Apply()
+	return e.f.Step()
+}
+
+// Run performs n engine steps, invoking fn after each (false stops
+// early), mirroring fleet.Run.
+func (e *Engine) Run(n int, fn func(*fleet.Tick) bool) error {
+	for i := 0; i < n; i++ {
+		t, err := e.Step()
+		if err != nil {
+			return err
+		}
+		if fn != nil && !fn(t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Done reports whether every scripted event has been applied (autoscale
+// groups keep reconciling forever).
+func (e *Engine) Done() bool { return e.next >= len(e.events) }
+
+// Log returns every action taken so far, in application order.
+func (e *Engine) Log() []Action { return append([]Action(nil), e.log...) }
+
+// Status returns the engine's progress view.
+func (e *Engine) Status() Status {
+	s := Status{Events: len(e.events), Applied: e.applied, Refused: e.refused}
+	if e.next < len(e.events) {
+		s.NextTick = e.events[e.next].Tick
+	}
+	for _, g := range e.groups {
+		gs := GroupStatus{Prefix: g.prefix, Min: g.min, Max: g.max, Target: g.target}
+		for _, name := range e.members(g) {
+			gs.Members++
+			if running, err := e.f.VMRunning(name); err == nil && running {
+				gs.Running++
+			}
+		}
+		s.Groups = append(s.Groups, gs)
+	}
+	return s
+}
+
+func (e *Engine) record(tick int, op, subject, detail string, err error) {
+	a := Action{Tick: tick, Op: op, Subject: subject, Detail: detail}
+	if err != nil {
+		a.Err = err.Error()
+		e.refused++
+	} else {
+		e.applied++
+	}
+	e.log = append(e.log, a)
+}
+
+func (e *Engine) applyEvent(tick int, ev cliutil.ScenarioEvent) {
+	switch ev.Kind {
+	case cliutil.ScenarioPowerOn:
+		e.record(tick, ev.Kind, ev.Subject, "", e.f.StartVM(ev.Subject))
+	case cliutil.ScenarioPowerOff:
+		e.record(tick, ev.Kind, ev.Subject, "", e.f.StopVM(ev.Subject))
+	case cliutil.ScenarioMigrate:
+		detail := fmt.Sprintf("-> host %d copy=%d", ev.Dest, ev.CopyTicks)
+		e.record(tick, ev.Kind, ev.Subject, detail, e.f.MigrateVM(ev.Subject, ev.Dest, ev.CopyTicks))
+	case cliutil.ScenarioHotplug:
+		req := fleet.VMRequest{
+			Name: ev.Subject, Tenant: ev.Tenant, Type: ev.Type,
+			Workload: ev.Workload, WorkloadSeed: ev.WorkloadSeed,
+		}
+		detail := fmt.Sprintf("host %d tenant=%s", ev.Dest, ev.Tenant)
+		e.record(tick, ev.Kind, ev.Subject, detail, e.f.AddVM(ev.Dest, req))
+	case cliutil.ScenarioRemove:
+		e.record(tick, ev.Kind, ev.Subject, "", e.f.RemoveVM(ev.Subject))
+	case cliutil.ScenarioDrain:
+		detail := fmt.Sprintf("copy=%d", ev.CopyTicks)
+		e.record(tick, ev.Kind, ev.Subject, detail, e.f.DrainHost(ev.Host, ev.CopyTicks))
+	case cliutil.ScenarioUndrain:
+		e.record(tick, ev.Kind, ev.Subject, "", e.f.UndrainHost(ev.Host))
+	case cliutil.ScenarioAutoscale:
+		e.record(tick, ev.Kind, "grp:"+ev.Subject, fmt.Sprintf("min=%d max=%d", ev.Min, ev.Max), e.activateGroup(ev))
+	}
+}
+
+// activateGroup creates (or retunes) the autoscale group for a prefix.
+// The group's scale-out template is cloned from its first live member,
+// so a group needs at least one matching VM when it activates.
+func (e *Engine) activateGroup(ev cliutil.ScenarioEvent) error {
+	for _, g := range e.groups {
+		if g.prefix == ev.Subject {
+			g.min, g.max = ev.Min, ev.Max
+			return nil
+		}
+	}
+	g := &group{prefix: ev.Subject, min: ev.Min, max: ev.Max, target: -1}
+	members := e.members(g)
+	if len(members) == 0 {
+		return fmt.Errorf("scenario: autoscale group %q has no member VMs", ev.Subject)
+	}
+	tmpl, err := e.f.VMSpec(members[0])
+	if err != nil {
+		return err
+	}
+	g.tmpl = tmpl
+	e.groups = append(e.groups, g)
+	return nil
+}
+
+// members lists the live VMs in a group, admission order.
+func (e *Engine) members(g *group) []string {
+	var out []string
+	for _, name := range e.f.VMNames() {
+		if len(name) >= len(g.prefix) && name[:len(g.prefix)] == g.prefix {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// autoscale advances every group one control tick: each group draws the
+// same two values from the engine stream whatever happens next (burst
+// coin, then a uniform target), so the stream position — and therefore
+// every later draw — is independent of fleet state, keeping runs
+// bit-identical across Parallelism settings.
+func (e *Engine) autoscale(tick int) {
+	for _, g := range e.groups {
+		burst := e.rng.Float64()
+		draw := g.min + e.rng.Intn(g.max-g.min+1)
+		if g.target < 0 || burst < 0.4 {
+			g.target = draw
+		}
+		e.reconcile(tick, g)
+	}
+}
+
+// reconcile moves a group toward its target running count: scale-up
+// starts stopped members in admission order, then hot-plugs template
+// clones onto the first host that will take one; scale-down stops
+// members in reverse admission order. Refusals (drained hosts, no
+// capacity anywhere) are logged and retried next tick.
+func (e *Engine) reconcile(tick int, g *group) {
+	members := e.members(g)
+	var running, stopped []string
+	for _, name := range members {
+		r, err := e.f.VMRunning(name)
+		if err != nil {
+			continue
+		}
+		if r {
+			running = append(running, name)
+		} else {
+			stopped = append(stopped, name)
+		}
+	}
+	for len(running) < g.target {
+		if len(stopped) > 0 {
+			name := stopped[0]
+			stopped = stopped[1:]
+			if err := e.f.StartVM(name); err != nil {
+				e.record(tick, "autoscale_up", name, "start", err)
+				continue
+			}
+			e.record(tick, "autoscale_up", name, "start", nil)
+			running = append(running, name)
+			continue
+		}
+		name := fmt.Sprintf("%s-as%d", g.prefix, g.seq)
+		g.seq++
+		req := g.tmpl
+		req.Name = name
+		req.WorkloadSeed = g.tmpl.WorkloadSeed + int64(g.seq)
+		var err error
+		for h := 0; h < e.f.Hosts(); h++ {
+			if err = e.f.AddVM(h, req); err == nil {
+				e.record(tick, "autoscale_up", name, fmt.Sprintf("hotplug host %d", h), nil)
+				running = append(running, name)
+				break
+			}
+		}
+		if err != nil {
+			e.record(tick, "autoscale_up", name, "hotplug", err)
+			return // no host will take a clone this tick; stop trying
+		}
+	}
+	for len(running) > g.target {
+		name := running[len(running)-1]
+		running = running[:len(running)-1]
+		if err := e.f.StopVM(name); err != nil {
+			e.record(tick, "autoscale_down", name, "stop", err)
+			continue
+		}
+		e.record(tick, "autoscale_down", name, "stop", nil)
+	}
+}

@@ -1,0 +1,568 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"vmpower/internal/cliutil"
+	"vmpower/internal/faults"
+	"vmpower/internal/fleet"
+)
+
+// conservationTol is the acceptance bar: per-tenant energy must be
+// conserved across every lifecycle event to 1e-9 W (and Wh).
+const conservationTol = 1e-9
+
+func lifecycleConfig() fleet.Config {
+	return fleet.Config{
+		Hosts:            3,
+		Seed:             11,
+		MeterNoise:       0, // noiseless: identities hold to float tolerance
+		CalibrationTicks: 6,
+		Parallelism:      1,
+	}
+}
+
+// lifecycleFleet builds the reference 3-host rig:
+//
+//	host 0: xa1..xa4 (xlarge, full — calibrated for xlarge only)
+//	host 1: xb1..xb3 + lg1 + s1..s4 (full — xlarge, large and small classes)
+//	host 2: s5, s6 (small class, 30 of 32 vCPUs free)
+//
+// so migrations have exactly one viable destination (host 2, smalls
+// only) and drains of host 1 must mix migration with stop-in-place.
+func lifecycleFleet(t *testing.T, cfg fleet.Config) *fleet.Fleet {
+	t.Helper()
+	reqs := []fleet.VMRequest{
+		{Name: "xa1", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 1},
+		{Name: "xa2", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 2},
+		{Name: "xa3", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 3},
+		{Name: "xa4", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 4},
+		{Name: "xb1", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 5},
+		{Name: "xb2", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 6},
+		{Name: "xb3", Tenant: "bob", Type: 3, Workload: "namd", WorkloadSeed: 7},
+		{Name: "lg1", Tenant: "carol", Type: 2, Workload: "omnetpp", WorkloadSeed: 8},
+		{Name: "s1", Tenant: "alice", Type: 0, Workload: "gcc", WorkloadSeed: 9},
+		{Name: "s2", Tenant: "alice", Type: 0, Workload: "gcc", WorkloadSeed: 10},
+		{Name: "s3", Tenant: "alice", Type: 0, Workload: "gcc", WorkloadSeed: 11},
+		{Name: "s4", Tenant: "alice", Type: 0, Workload: "gcc", WorkloadSeed: 12},
+		{Name: "s5", Tenant: "alice", Type: 0, Workload: "gcc", WorkloadSeed: 13},
+		{Name: "s6", Tenant: "alice", Type: 0, Workload: "gcc", WorkloadSeed: 14},
+	}
+	f, err := fleet.New(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := f.Placement()
+	if place["xa1"] != 0 || place["xb1"] != 1 || place["s1"] != 1 || place["s5"] != 2 {
+		t.Fatalf("unexpected placement %v", place)
+	}
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustEngine(t *testing.T, f *fleet.Fleet, script string, seed int64) *Engine {
+	t.Helper()
+	evs, err := cliutil.ParseScenario(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(f, evs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// runAudited advances the engine n ticks, fails the test on any
+// conservation violation at the 1e-9 acceptance bar, and returns the
+// tick stream plus the per-tenant energy integral rebuilt independently
+// from the ticks (watt-hours). fm, when non-nil, has its episode clock
+// advanced each tick.
+func runAudited(t *testing.T, e *Engine, f *fleet.Fleet, n int, fm *faults.Meter) ([]*fleet.Tick, map[string]float64) {
+	t.Helper()
+	dtHours := 1.0 / 3600 // TickInterval defaults to 1 s
+	integral := make(map[string]float64)
+	var ticks []*fleet.Tick
+	for i := 0; i < n; i++ {
+		tk, err := e.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", i+1, err)
+		}
+		if problems := f.AuditConservation(tk, conservationTol); len(problems) != 0 {
+			t.Fatalf("tick %d: conservation violated:\n  %s", tk.Tick, strings.Join(problems, "\n  "))
+		}
+		for tenant, w := range tk.PerTenant {
+			integral[tenant] += w * dtHours
+		}
+		ticks = append(ticks, tk)
+		if fm != nil {
+			fm.NextTick()
+		}
+	}
+	// The fleet's cumulative ledger must match the independent integral:
+	// energy follows the VM through every event, none lost, none minted.
+	ledger := f.EnergyWhByTenant()
+	for tenant, wh := range integral {
+		if d := math.Abs(ledger[tenant] - wh); d > conservationTol {
+			t.Fatalf("tenant %s: ledger %g Wh, tick integral %g Wh (delta %g)", tenant, ledger[tenant], wh, d)
+		}
+	}
+	for tenant := range ledger {
+		if _, ok := integral[tenant]; !ok && ledger[tenant] != 0 {
+			t.Fatalf("tenant %s: ledger %g Wh but never appeared in a tick", tenant, ledger[tenant])
+		}
+	}
+	return ticks, integral
+}
+
+// eventsOf filters a tick stream's journal down to one type, returning
+// "tick/subject" strings.
+func eventsOf(ticks []*fleet.Tick, typ string) []string {
+	var out []string
+	for _, tk := range ticks {
+		for _, ev := range tk.Events {
+			if ev.Type == typ {
+				out = append(out, fmt.Sprintf("%d/%s", tk.Tick, ev.Subject))
+			}
+		}
+	}
+	return out
+}
+
+// TestPowerCycleConservation: a VM powered off mid-run is an exact dummy
+// (φ = 0, not merely small) until powered back on, and tenant energy is
+// conserved through both edges.
+func TestPowerCycleConservation(t *testing.T) {
+	f := lifecycleFleet(t, lifecycleConfig())
+	e := mustEngine(t, f, "s1@3:poweroff,s1@6:poweron", 1)
+	ticks, _ := runAudited(t, e, f, 8, nil)
+
+	if got := eventsOf(ticks, fleet.EventPowerOff); !reflect.DeepEqual(got, []string{"3/s1"}) {
+		t.Fatalf("poweroff events = %v", got)
+	}
+	if got := eventsOf(ticks, fleet.EventPowerOn); !reflect.DeepEqual(got, []string{"6/s1"}) {
+		t.Fatalf("poweron events = %v", got)
+	}
+	for _, tk := range ticks {
+		w, ok := tk.PerVM["s1"]
+		if !ok {
+			t.Fatalf("tick %d: s1 unaccounted", tk.Tick)
+		}
+		off := tk.Tick >= 3 && tk.Tick < 6
+		if off && w != 0 {
+			t.Fatalf("tick %d: stopped s1 attributed %g W, want exactly 0", tk.Tick, w)
+		}
+		if !off && w <= 0 {
+			t.Fatalf("tick %d: running s1 attributed %g W", tk.Tick, w)
+		}
+	}
+}
+
+// TestMigrationConservation: a live migration double-meters the VM for
+// exactly the declared copy window, the ledger carries both components,
+// and the audit proves each host's share is counted exactly once.
+func TestMigrationConservation(t *testing.T) {
+	f := lifecycleFleet(t, lifecycleConfig())
+	e := mustEngine(t, f, "s1@4:migrate:2:3", 1)
+	ticks, _ := runAudited(t, e, f, 10, nil)
+
+	if got := eventsOf(ticks, fleet.EventMigrateStart); !reflect.DeepEqual(got, []string{"4/s1"}) {
+		t.Fatalf("migrate_start events = %v", got)
+	}
+	if got := eventsOf(ticks, fleet.EventMigrateFinish); !reflect.DeepEqual(got, []string{"7/s1"}) {
+		t.Fatalf("migrate_finish events = %v", got)
+	}
+	for _, tk := range ticks {
+		inWindow := tk.Tick >= 4 && tk.Tick <= 6
+		if !inWindow {
+			if len(tk.Migrations) != 0 {
+				t.Fatalf("tick %d: unexpected ledger entries %+v", tk.Tick, tk.Migrations)
+			}
+			continue
+		}
+		if len(tk.Migrations) != 1 {
+			t.Fatalf("tick %d: %d ledger entries, want 1", tk.Tick, len(tk.Migrations))
+		}
+		ms := tk.Migrations[0]
+		if ms.Name != "s1" || ms.From != 1 || ms.To != 2 || ms.CopyTicks != 3 {
+			t.Fatalf("tick %d: ledger %+v", tk.Tick, ms)
+		}
+		if want := tk.Tick - 3; ms.CopyTick != want {
+			t.Fatalf("tick %d: copy tick %d, want %d", tk.Tick, ms.CopyTick, want)
+		}
+		if !ms.FromAccounted || !ms.ToAccounted {
+			t.Fatalf("tick %d: both sides healthy but ledger %+v", tk.Tick, ms)
+		}
+		// Both copies genuinely run: both sides attribute real power.
+		if ms.FromWatts <= 0 || ms.ToWatts <= 0 {
+			t.Fatalf("tick %d: copy window components %g/%g, want both > 0", tk.Tick, ms.FromWatts, ms.ToWatts)
+		}
+		if d := math.Abs(tk.PerVM["s1"] - (ms.FromWatts + ms.ToWatts)); d > conservationTol {
+			t.Fatalf("tick %d: PerVM %g != components %g (delta %g)", tk.Tick, tk.PerVM["s1"], ms.FromWatts+ms.ToWatts, d)
+		}
+	}
+	if got := f.Placement()["s1"]; got != 2 {
+		t.Fatalf("s1 on host %d after cutover, want 2", got)
+	}
+	done, aborted := f.MigrationTotals()
+	if done != 1 || aborted != 0 {
+		t.Fatalf("migration totals %d/%d, want 1/0", done, aborted)
+	}
+}
+
+// TestColdMigration: migrating a stopped VM opens no copy window — the
+// ledger stays empty and cutover lands on the very next tick.
+func TestColdMigration(t *testing.T) {
+	f := lifecycleFleet(t, lifecycleConfig())
+	e := mustEngine(t, f, "s1@3:poweroff,s1@5:migrate:2:4", 1)
+	ticks, _ := runAudited(t, e, f, 7, nil)
+
+	for _, tk := range ticks {
+		if len(tk.Migrations) != 0 {
+			t.Fatalf("tick %d: cold migration opened a copy window: %+v", tk.Tick, tk.Migrations)
+		}
+	}
+	if got := eventsOf(ticks, fleet.EventMigrateFinish); !reflect.DeepEqual(got, []string{"5/s1"}) {
+		t.Fatalf("migrate_finish events = %v", got)
+	}
+	if got := f.Placement()["s1"]; got != 2 {
+		t.Fatalf("s1 on host %d, want 2", got)
+	}
+	if running, err := f.VMRunning("s1"); err != nil || running {
+		t.Fatalf("s1 running=%v err=%v after cold migration, want stopped", running, err)
+	}
+}
+
+// TestHotplugRemoveConservation: a VM hot-plugged past the static roster
+// is accounted from its first tick; removing it freezes — not erases —
+// its tenant's energy.
+func TestHotplugRemoveConservation(t *testing.T) {
+	f := lifecycleFleet(t, lifecycleConfig())
+	e := mustEngine(t, f, "n1@3:hotplug:2:small:dave:gcc:99,n1@8:remove", 1)
+	ticks, _ := runAudited(t, e, f, 11, nil)
+
+	if got := eventsOf(ticks, fleet.EventHotplug); !reflect.DeepEqual(got, []string{"3/n1"}) {
+		t.Fatalf("hotplug events = %v", got)
+	}
+	if got := eventsOf(ticks, fleet.EventRemove); !reflect.DeepEqual(got, []string{"8/n1"}) {
+		t.Fatalf("remove events = %v", got)
+	}
+	var daveAt7 float64
+	for _, tk := range ticks {
+		_, ok := tk.PerVM["n1"]
+		want := tk.Tick >= 3 && tk.Tick < 8
+		if ok != want {
+			t.Fatalf("tick %d: n1 accounted=%v, want %v", tk.Tick, ok, want)
+		}
+		if want && tk.PerVM["n1"] <= 0 {
+			t.Fatalf("tick %d: hot-plugged n1 attributed %g W", tk.Tick, tk.PerVM["n1"])
+		}
+		if tk.Tick == 7 {
+			daveAt7 = f.EnergyWhByTenant()["dave"]
+		}
+	}
+	if daveAt7 <= 0 {
+		t.Fatal("tenant dave accrued no energy while n1 ran")
+	}
+	if got := f.EnergyWhByTenant()["dave"]; got != daveAt7 {
+		t.Fatalf("dave's ledger moved after removal: %g -> %g", daveAt7, got)
+	}
+	if f.HasVM("n1") {
+		t.Fatal("n1 still live after removal")
+	}
+}
+
+// TestDrainUndrainConservation: draining host 1 migrates what fits
+// (smalls to host 2) and stops the rest in place, the drained host keeps
+// clean books (idle meter, zero dynamic power), and undrain restarts
+// exactly the stopped VMs.
+func TestDrainUndrainConservation(t *testing.T) {
+	f := lifecycleFleet(t, lifecycleConfig())
+	e := mustEngine(t, f, "host:1@4:drain:2,host:1@12:undrain", 1)
+	ticks, _ := runAudited(t, e, f, 14, nil)
+
+	if got := eventsOf(ticks, fleet.EventDrainStart); !reflect.DeepEqual(got, []string{"4/host:1"}) {
+		t.Fatalf("drain_start events = %v", got)
+	}
+	if got := eventsOf(ticks, fleet.EventDrainFinish); !reflect.DeepEqual(got, []string{"6/host:1"}) {
+		t.Fatalf("drain_finish events = %v", got)
+	}
+	if got := eventsOf(ticks, fleet.EventUndrain); !reflect.DeepEqual(got, []string{"12/host:1"}) {
+		t.Fatalf("undrain events = %v", got)
+	}
+	// The four smalls migrate (the only destination with their class and
+	// room); the three xlarge and the large stop in place.
+	if got := eventsOf(ticks, fleet.EventMigrateStart); len(got) != 4 {
+		t.Fatalf("migrate_start events = %v, want the 4 smalls", got)
+	}
+	stops := eventsOf(ticks, fleet.EventPowerOff)
+	if len(stops) != 4 {
+		t.Fatalf("poweroff events = %v, want xb1-3 and lg1", stops)
+	}
+	restarts := eventsOf(ticks, fleet.EventPowerOn)
+	if !reflect.DeepEqual(restarts, []string{"12/xb1", "12/xb2", "12/xb3", "12/lg1"}) {
+		t.Fatalf("poweron events = %v", restarts)
+	}
+	for _, tk := range ticks {
+		hs := tk.Hosts[1]
+		switch {
+		case tk.Tick < 4:
+			if hs.State != fleet.HostHealthy {
+				t.Fatalf("tick %d: host 1 %v", tk.Tick, hs.State)
+			}
+		case tk.Tick < 6:
+			if hs.State != fleet.HostDraining || tk.DrainingHosts != 1 {
+				t.Fatalf("tick %d: host 1 %v (draining hosts %d)", tk.Tick, hs.State, tk.DrainingHosts)
+			}
+		case tk.Tick < 12:
+			if hs.State != fleet.HostDrained || tk.DrainedHosts != 1 {
+				t.Fatalf("tick %d: host 1 %v (drained hosts %d)", tk.Tick, hs.State, tk.DrainedHosts)
+			}
+			// Drained means empty of running VMs: pure idle, zero dynamic.
+			if hs.DynamicWatts != 0 {
+				t.Fatalf("tick %d: drained host attributes %g W dynamic", tk.Tick, hs.DynamicWatts)
+			}
+		default:
+			if hs.State != fleet.HostHealthy {
+				t.Fatalf("tick %d: host 1 %v after undrain", tk.Tick, hs.State)
+			}
+		}
+		// Maintenance is not degradation.
+		if tk.Degraded {
+			t.Fatalf("tick %d: drain marked the fleet degraded", tk.Tick)
+		}
+	}
+	place := f.Placement()
+	for _, s := range []string{"s1", "s2", "s3", "s4"} {
+		if place[s] != 2 {
+			t.Fatalf("%s on host %d after drain, want 2", s, place[s])
+		}
+	}
+	for _, name := range []string{"xb1", "xb2", "xb3", "lg1"} {
+		if running, _ := f.VMRunning(name); !running {
+			t.Fatalf("%s not restarted by undrain", name)
+		}
+	}
+}
+
+// TestAutoscaleConservation: a seeded bursty autoscaler churns a group's
+// running count (start/stop plus hot-plugged clones) without ever
+// breaking conservation; the group stays inside its declared bounds.
+func TestAutoscaleConservation(t *testing.T) {
+	f := lifecycleFleet(t, lifecycleConfig())
+	e := mustEngine(t, f, "grp:s@3:autoscale:2:8", 7)
+	ticks, _ := runAudited(t, e, f, 30, nil)
+
+	var ups, downs, clones int
+	for _, a := range e.Log() {
+		if a.Err != "" {
+			continue
+		}
+		switch a.Op {
+		case "autoscale_up":
+			ups++
+			if strings.HasPrefix(a.Detail, "hotplug") {
+				clones++
+			}
+		case "autoscale_down":
+			downs++
+		}
+	}
+	if ups == 0 || downs == 0 {
+		t.Fatalf("autoscaler never churned: %d up, %d down (retune the seed?)", ups, downs)
+	}
+	if clones == 0 {
+		t.Fatalf("autoscaler never hot-plugged a clone (%d up, %d down)", ups, downs)
+	}
+	st := e.Status()
+	if len(st.Groups) != 1 {
+		t.Fatalf("groups = %+v", st.Groups)
+	}
+	g := st.Groups[0]
+	if g.Running < g.Min || g.Running > g.Max {
+		t.Fatalf("group running %d outside [%d,%d]", g.Running, g.Min, g.Max)
+	}
+	// Clones are owned by the template's tenant and billed to it.
+	for _, tk := range ticks[len(ticks)-1:] {
+		for name := range tk.PerVM {
+			if strings.HasPrefix(name, "s-as") {
+				tenant, err := f.VMTenant(name)
+				if err != nil || tenant != "alice" {
+					t.Fatalf("clone %s tenant %q err %v", name, tenant, err)
+				}
+			}
+		}
+	}
+}
+
+// TestMigrationRacesFaultsAndQuarantine is the chaos acceptance test:
+// a migration's destination host suffers meter faults mid-copy and is
+// quarantined, the window aborts, the VM keeps running at the source —
+// and every single tick stays conserved to 1e-9 with zero audit
+// violations, meter noise and all.
+func TestMigrationRacesFaultsAndQuarantine(t *testing.T) {
+	cfg := lifecycleConfig()
+	cfg.MeterNoise = 0.05
+	cfg.Parallelism = -1 // all cores: the -race pass must stay deterministic
+	cfg.MeterRetries = 1
+	cfg.HoldoverTicks = 2
+	cfg.QuarantineProbeTicks = 4
+	f := lifecycleFleet(t, cfg)
+	// Destination host 2 loses its meter for injector ticks [5, 25): the
+	// copy window (fleet ticks 4..9) collides with holdover, then
+	// quarantine, then the abort at cutover.
+	fm, err := f.InjectFaults(2, faults.Options{
+		Seed:     5,
+		Episodes: []faults.Episode{{Start: 5, Len: 20, Kind: faults.Dropout}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.SetArmed(true)
+	e := mustEngine(t, f, "s1@4:migrate:2:6", 1)
+	ticks, _ := runAudited(t, e, f, 30, fm)
+
+	sawQuarantinedSide := false
+	for _, tk := range ticks {
+		for _, ms := range tk.Migrations {
+			if !ms.FromAccounted {
+				t.Fatalf("tick %d: healthy source not accounting: %+v", tk.Tick, ms)
+			}
+			if !ms.ToAccounted {
+				sawQuarantinedSide = true
+				// The source side alone must then carry the VM's total.
+				if d := math.Abs(tk.PerVM["s1"] - ms.FromWatts); d > conservationTol {
+					t.Fatalf("tick %d: one-sided window PerVM %g != from %g", tk.Tick, tk.PerVM["s1"], ms.FromWatts)
+				}
+			}
+		}
+	}
+	if !sawQuarantinedSide {
+		t.Fatal("destination never lost mid-window; the race never happened (retune the episode)")
+	}
+	done, aborted := f.MigrationTotals()
+	if done != 0 || aborted != 1 {
+		t.Fatalf("migration totals %d/%d, want 0/1 (abort)", done, aborted)
+	}
+	if got := f.Placement()["s1"]; got != 1 {
+		t.Fatalf("s1 on host %d after abort, want source host 1", got)
+	}
+	if running, _ := f.VMRunning("s1"); !running {
+		t.Fatal("s1 not running at the source after abort")
+	}
+	finishes := eventsOf(ticks, fleet.EventMigrateFinish)
+	if len(finishes) != 1 {
+		t.Fatalf("migrate_finish events = %v, want exactly one (the abort)", finishes)
+	}
+	q, _ := f.Transitions()
+	if q == 0 {
+		t.Fatal("destination was never quarantined")
+	}
+}
+
+// chaosScript is a scenario exercising every event class at once, used
+// by the determinism test and (with faults layered on) the kitchen-sink
+// chaos run.
+const chaosScript = "s1@3:poweroff,s1@6:poweron,s2@5:migrate:2:2," +
+	"n1@4:hotplug:2:small:dave:gcc:77,n1@15:remove," +
+	"host:1@8:drain:1,host:1@14:undrain,grp:s@10:autoscale:2:6"
+
+// TestScenarioDeterminism: the full tick stream, lifecycle journal,
+// migration ledger, engine log and energy ledger are DeepEqual at
+// Parallelism 1 vs NumCPU, and bit-identical across two same-seed runs.
+func TestScenarioDeterminism(t *testing.T) {
+	type result struct {
+		ticks  []*fleet.Tick
+		log    []Action
+		energy map[string]float64
+	}
+	run := func(par int) result {
+		cfg := lifecycleConfig()
+		cfg.MeterNoise = 0.1 // noise is seeded; determinism must survive it
+		cfg.Parallelism = par
+		f := lifecycleFleet(t, cfg)
+		e := mustEngine(t, f, chaosScript, 7)
+		var ticks []*fleet.Tick
+		for i := 0; i < 20; i++ {
+			tk, err := e.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if problems := f.AuditConservation(tk, conservationTol); len(problems) != 0 {
+				t.Fatalf("par %d tick %d: %s", par, tk.Tick, strings.Join(problems, "; "))
+			}
+			ticks = append(ticks, tk)
+		}
+		return result{ticks: ticks, log: e.Log(), energy: f.EnergyWhByTenant()}
+	}
+
+	serial := run(1)
+	wide := run(runtime.NumCPU())
+	again := run(runtime.NumCPU())
+
+	if !reflect.DeepEqual(serial.ticks, wide.ticks) {
+		t.Fatal("tick streams differ between Parallelism 1 and NumCPU")
+	}
+	if !reflect.DeepEqual(serial.log, wide.log) {
+		t.Fatalf("engine logs differ:\n par1: %+v\n parN: %+v", serial.log, wide.log)
+	}
+	if !reflect.DeepEqual(serial.energy, wide.energy) {
+		t.Fatalf("energy ledgers differ: %v vs %v", serial.energy, wide.energy)
+	}
+	if !reflect.DeepEqual(wide, again) {
+		t.Fatal("two same-seed runs at NumCPU are not bit-identical")
+	}
+}
+
+// TestScenarioStatus covers the engine's progress accounting, including
+// refusals: chaos scripts deliberately race events the fleet rejects.
+func TestScenarioStatus(t *testing.T) {
+	f := lifecycleFleet(t, lifecycleConfig())
+	// The second migrate targets the VM mid-window: refused.
+	e := mustEngine(t, f, "s1@3:migrate:2:4,s1@4:migrate:2:1", 1)
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Status()
+	if st.Events != 2 || st.Applied != 0 || st.NextTick != 3 {
+		t.Fatalf("status after tick 1: %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = e.Status()
+	if st.Applied != 1 || st.Refused != 1 {
+		t.Fatalf("applied/refused = %d/%d, want 1/1: %+v (log %+v)", st.Applied, st.Refused, st, e.Log())
+	}
+	if !e.Done() {
+		t.Fatal("engine not done after both events passed")
+	}
+}
+
+// TestEngineRejectsUnknownHost: host references are validated up front.
+func TestEngineRejectsUnknownHost(t *testing.T) {
+	f := lifecycleFleet(t, lifecycleConfig())
+	evs, err := cliutil.ParseScenario("host:9@3:drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(f, evs, 1); err == nil {
+		t.Fatal("want out-of-range host error")
+	}
+	evs, err = cliutil.ParseScenario("s1@3:migrate:9:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(f, evs, 1); err == nil {
+		t.Fatal("want out-of-range destination error")
+	}
+}

@@ -190,6 +190,28 @@ func NewSet(catalog Catalog, vms []VM) (*Set, error) {
 // Len returns n, the number of VMs.
 func (s *Set) Len() int { return len(s.vms) }
 
+// Append grows the set by one VM (hot-plug) and returns its dense ID.
+// The new VM's ID is assigned by position like NewSet's. Growing the set
+// invalidates anything compiled against the old n (coalition masks over
+// the old width stay valid — they simply never contain the new member) —
+// callers owning derived structures (worth plans, scratch tables) must
+// rebuild them. Not safe concurrently with readers; mutate only between
+// estimation ticks.
+func (s *Set) Append(v VM) (ID, error) {
+	if len(s.vms) >= MaxVMs {
+		return 0, fmt.Errorf("vm: set already at the %d-VM limit", MaxVMs)
+	}
+	if _, err := s.catalog.ByID(v.Type); err != nil {
+		return 0, fmt.Errorf("vm %q: %w", v.Name, err)
+	}
+	v.ID = ID(len(s.vms))
+	if v.Name == "" {
+		v.Name = fmt.Sprintf("vm%d", len(s.vms))
+	}
+	s.vms = append(s.vms, v)
+	return v.ID, nil
+}
+
 // Catalog returns the type catalog backing the set.
 func (s *Set) Catalog() Catalog { return s.catalog }
 
