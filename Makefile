@@ -4,7 +4,26 @@ GO ?= go
 # Benchtime for the bench-json snapshot; 1x keeps `make verify` fast.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race bench bench-json verify experiments csv cover fmt vet clean fuzz-short golden fleetd-smoke lifecycle-smoke
+# ---- Benchmark trajectory + gate knobs -------------------------------
+# The committed trajectory snapshot that bench-gate enforces against.
+# Blessing an intentional perf regression = re-run `make bench-json`
+# (overwrites this file), review the diff, and commit it with the
+# justification. To start a new dated snapshot instead, pass
+# BENCH_BASELINE=BENCH_<date>.json and update this default.
+BENCH_BASELINE ?= BENCH_2026-08-08.json
+# Relative ns/op tolerance for headline benches. 15% absorbs run-to-run
+# jitter at -benchtime $(GATE_BENCHTIME) while still catching real
+# regressions; BenchmarkServeLive wall-clock arms get a looser 60%
+# inside benchgate (short-run p99s of a live daemon are noisy), and
+# sub-microsecond benches are protected by benchgate's -min-ns-delta.
+GATE_TOLERANCE ?= 0.15
+# Longer benchtime for gate measurements than for the 1x snapshot pass:
+# the gate compares numbers, so they need to be stable.
+GATE_BENCHTIME ?= 3x
+# Benches the gate re-measures (the headline set in cmd/benchgate).
+GATE_BENCH_RE ?= EstimateTick|ExactParallel|ServeCached
+
+.PHONY: all build test race bench bench-json bench-gate powerbench-smoke verify experiments csv cover fmt vet clean fuzz-short golden fleetd-smoke lifecycle-smoke
 
 all: build test
 
@@ -24,18 +43,40 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Snapshot benchmark numbers (name, ns/op, allocs/op) into a dated JSON
-# file for cross-commit comparison.
+# Snapshot benchmark numbers (name, ns/op, allocs/op) into the committed
+# trajectory JSON for cross-commit comparison. Includes the powerbench
+# live-serve arms (BenchmarkServeLive/...) so the serving-path p99s are
+# part of the trajectory. Overwrites $(BENCH_BASELINE): re-running this
+# target IS the bless step for an intentional perf change.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
+	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... ; \
+	  $(GO) run ./cmd/powerbench -gobench -clients 4 -duration 2s -interval 50ms -warmup 10 ; } \
+	  | $(GO) run ./cmd/benchjson -out $(BENCH_BASELINE)
+
+# Enforce the trajectory: re-measure the headline benches and fail on a
+# >$(GATE_TOLERANCE) regression vs $(BENCH_BASELINE). The fresh snapshot
+# is written to bench_fresh_gate.json (gitignored by clean) so a failing
+# run can be inspected.
+bench-gate:
+	{ $(GO) test -run '^$$' -bench '$(GATE_BENCH_RE)' -benchmem -benchtime $(GATE_BENCHTIME) ./... ; \
+	  $(GO) run ./cmd/powerbench -gobench -clients 4 -duration 2s -interval 50ms -warmup 10 ; } \
+	  | $(GO) run ./cmd/benchjson -out bench_fresh_gate.json
+	$(GO) run ./cmd/benchgate -baseline $(BENCH_BASELINE) -fresh bench_fresh_gate.json -tolerance $(GATE_TOLERANCE)
+
+# Quick self-hosted load test of the powerd serving path: boots a
+# calibrated daemon, hammers the cached endpoints, reports p50/p99/qps
+# per endpoint plus how many ticks the load disturbed.
+powerbench-smoke:
+	$(GO) run ./cmd/powerbench -clients 4 -duration 2s -interval 50ms -warmup 10
 
 # Full-size reproduction of every paper table/figure.
 experiments:
 	$(GO) run ./cmd/experiments -run all
 
-# Full verification: vet + race across the tree, a benchmark snapshot,
-# and every calibration band from DESIGN.md §5 (exits non-zero on drift).
-verify: race bench-json
+# Full verification: vet + race across the tree, the enforcing perf gate
+# against the committed trajectory, and every calibration band from
+# DESIGN.md §5 (exits non-zero on drift).
+verify: race bench-gate
 	$(GO) run ./cmd/experiments -verify
 
 # Regenerate the figure CSVs under results/.
@@ -86,6 +127,8 @@ vet:
 	$(GO) vet ./...
 
 # Golden pins under results/golden/ are tracked in git and survive clean;
-# everything else under results/ is regenerable via `make csv`.
+# everything else under results/ is regenerable via `make csv`. The
+# committed BENCH_*.json trajectory is tracked in git and must survive
+# clean too — only the scratch gate snapshot is removed.
 clean:
-	rm -f results/*.csv test_output.txt bench_output.txt BENCH_*.json
+	rm -f results/*.csv test_output.txt bench_output.txt bench_fresh_gate.json

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSelfHostedBench boots the in-process daemon, applies a short
+// load, and checks the report carries per-endpoint p50/p99 and the
+// tick-disturbance accounting the tool exists to measure.
+func TestSelfHostedBench(t *testing.T) {
+	cfg := benchConfig{
+		clients:   2,
+		duration:  300 * time.Millisecond,
+		interval:  10 * time.Millisecond,
+		warmup:    5,
+		endpoints: []string{"allocation", "status"},
+		vms:       "web:small,db:medium",
+		seed:      1,
+	}
+	rep, err := bench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.stats) != 2 {
+		t.Fatalf("stats for %d endpoints, want 2", len(rep.stats))
+	}
+	for _, s := range rep.stats {
+		if s.requests == 0 {
+			t.Fatalf("%s: no requests completed", s.endpoint)
+		}
+		if s.errors != 0 {
+			t.Fatalf("%s: %d request errors", s.endpoint, s.errors)
+		}
+		if s.p99 < s.p50 {
+			t.Fatalf("%s: p99 %v < p50 %v", s.endpoint, s.p99, s.p50)
+		}
+		if s.qps <= 0 {
+			t.Fatalf("%s: qps %v", s.endpoint, s.qps)
+		}
+	}
+	if rep.loadTicks == 0 {
+		t.Fatal("no ticks ran under load")
+	}
+	if rep.baselineP99 <= 0 || rep.tickP99 <= 0 {
+		t.Fatalf("tick latencies not measured: baseline %v loaded %v", rep.baselineP99, rep.tickP99)
+	}
+	if rep.disturbed < 0 || rep.disturbed > rep.loadTicks {
+		t.Fatalf("disturbed %d out of %d load ticks", rep.disturbed, rep.loadTicks)
+	}
+
+	// The gobench rendering must be benchjson-parsable: even field
+	// count, iterations at field 1, ns/op present.
+	var buf bytes.Buffer
+	writeGobench(&buf, rep)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // two endpoints + the tick arm
+		t.Fatalf("gobench lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	lineRE := regexp.MustCompile(`^BenchmarkServeLive/[a-z]+(/p99)? \d+ \d+ ns/op( [\d.]+ [a-z0-9-]+)*$`)
+	for _, line := range lines {
+		if !lineRE.MatchString(line) {
+			t.Fatalf("gobench line not parsable: %q", line)
+		}
+		if n := len(strings.Fields(line)); n%2 != 0 {
+			t.Fatalf("odd field count %d: %q", n, line)
+		}
+	}
+	if !strings.Contains(buf.String(), "disturbed") {
+		t.Fatalf("tick arm must report the disturbed count:\n%s", buf.String())
+	}
+}
+
+// TestPathOf pins the endpoint shorthand mapping.
+func TestPathOf(t *testing.T) {
+	for in, want := range map[string]string{
+		"allocation":   "/api/v1/allocation",
+		"healthz":      "/healthz",
+		"/custom/path": "/custom/path",
+	} {
+		if got := pathOf(in); got != want {
+			t.Errorf("pathOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPercentile pins the quantile index math.
+func TestPercentile(t *testing.T) {
+	samples := []time.Duration{5, 1, 4, 2, 3} // sorted: 1..5
+	if got := percentile(samples, 0.50); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := percentile(samples, 0.99); got != 4 {
+		t.Fatalf("p99 over 5 samples = %v, want 4 (index floor)", got)
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Fatalf("empty samples: %v, want 0", got)
+	}
+}

@@ -13,7 +13,6 @@
 package fleetd
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -170,6 +169,11 @@ type Server struct {
 	now       func() time.Time
 	createdAt time.Time
 
+	// served is the tick-published, pre-encoded HTTP surface: one atomic
+	// pointer swap per tick, cached bytes per request (nil until the
+	// first tick — handlers fall back to the per-request path).
+	served atomic.Pointer[servedSnapshot]
+
 	mu            sync.RWMutex
 	latest        *TickJSON
 	energy        EnergyJSON
@@ -179,12 +183,21 @@ type Server struct {
 	readmits      int
 	lastTickAt    time.Time
 	lastErr       string
-	// vms and tenants are roster snapshots refreshed by Step: handlers
-	// must not call fleet accessors directly once a scenario can mutate
-	// the roster from the Step goroutine.
-	vms      []string
-	tenants  []string
-	scenario *ScenarioJSON
+	// vms, tenants, hosts and emptyHosts are roster snapshots refreshed
+	// by Step: handlers must not call fleet accessors directly once a
+	// scenario can mutate the roster from the Step goroutine.
+	vms        []string
+	tenants    []string
+	hosts      int
+	emptyHosts int
+	scenario   *ScenarioJSON
+	// deltaLog backs /api/v1/allocation?since=: the bounded per-tick
+	// change log (see serve.go).
+	deltaLog []tickDelta
+
+	// prevWire is the previous tick's wire form, diffed in publishLocked
+	// (under s.mu) to produce each tick's delta-log entry.
+	prevWire *TickJSON
 }
 
 // New builds a Server over a (to-be-)calibrated fleet.
@@ -195,6 +208,7 @@ func New(f *fleet.Fleet) (*Server, error) {
 	return &Server{
 		f: f, now: time.Now, createdAt: time.Now(),
 		vms: f.VMNames(), tenants: f.Tenants(),
+		hosts: f.Hosts(), emptyHosts: f.EmptyHosts(),
 	}, nil
 }
 
@@ -254,6 +268,7 @@ func (s *Server) Step() (*fleet.Tick, error) {
 	energy := energyJSON(s.f)
 	vms := s.f.VMNames()
 	tenants := s.f.Tenants()
+	hosts, emptyHosts := s.f.Hosts(), s.f.EmptyHosts()
 	var scen *ScenarioJSON
 	if s.engine != nil {
 		scen = s.scenarioJSON()
@@ -263,6 +278,8 @@ func (s *Server) Step() (*fleet.Tick, error) {
 	s.energy = energy
 	s.vms = vms
 	s.tenants = tenants
+	s.hosts = hosts
+	s.emptyHosts = emptyHosts
 	if scen != nil {
 		s.scenario = scen
 	}
@@ -274,6 +291,7 @@ func (s *Server) Step() (*fleet.Tick, error) {
 	s.readmits += tick.Readmits
 	s.lastTickAt = s.now()
 	s.lastErr = ""
+	s.publishLocked(wire)
 	s.mu.Unlock()
 	now := s.now()
 	o.noteTick(now, time.Since(start), tick, wire)
@@ -396,6 +414,7 @@ func energyJSON(f *fleet.Fleet) EnergyJSON {
 //
 //	GET /api/v1/status     — pool layout, per-host states, transition counts
 //	GET /api/v1/allocation — the most recent fleet tick
+//	GET /api/v1/allocation?since=<tick> — only what changed after <tick> (see TickDeltaJSON)
 //	GET /api/v1/energy     — cumulative per-tenant energy (degraded slice broken out)
 //	GET /api/v1/scenario   — lifecycle scenario progress (404 without a scenario)
 //	GET /healthz           — liveness ladder (503 only when all hosts are lost)
@@ -428,13 +447,13 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	o := s.telemetry.Load()
 	if o == nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: "not instrumented"})
+		s.writeJSON(w, http.StatusNotFound, errorJSON{Error: "not instrumented"})
 		return
 	}
 	if r.URL.Query().Get("trigger") == "last" {
 		d := o.lastDump.Load()
 		if d == nil {
-			writeJSON(w, http.StatusNotFound, errorJSON{Error: "no triggered dump yet"})
+			s.writeJSON(w, http.StatusNotFound, errorJSON{Error: "no triggered dump yet"})
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -463,9 +482,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	lastTickAt := s.lastTickAt
 	lastErr := s.lastErr
 	latest := s.latest
+	// The tick-published roster count, not s.f.Hosts(): handlers must
+	// not touch fleet accessors while a scenario mutates the roster on
+	// the Step goroutine (pinned by TestRosterScrapeRace).
+	hosts := s.hosts
 	s.mu.RUnlock()
 
-	h := HealthJSON{Hosts: s.f.Hosts(), Ticks: ticks}
+	h := HealthJSON{Hosts: hosts, Ticks: ticks}
 	status := http.StatusOK
 	switch {
 	case lastErr != "":
@@ -511,74 +534,69 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			h.Status = "ok"
 		}
 	}
-	writeJSON(w, status, h)
+	s.writeJSON(w, status, h)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	if snap := s.served.Load(); snap != nil && snap.status != nil {
+		s.writeCached(w, snap.status)
+		return
+	}
 	s.mu.RLock()
-	ticks := s.ticks
-	degradedTicks := s.degradedTicks
-	quarantines := s.quarantines
-	readmits := s.readmits
-	latest := s.latest
-	vms := s.vms
-	tenants := s.tenants
+	st := s.statusLocked()
 	s.mu.RUnlock()
-	st := StatusJSON{
-		Hosts:         s.f.Hosts(),
-		EmptyHosts:    s.f.EmptyHosts(),
-		VMs:           vms,
-		Tenants:       tenants,
-		Ticks:         ticks,
-		DegradedTicks: degradedTicks,
-		Quarantines:   quarantines,
-		Readmits:      readmits,
-	}
-	if latest != nil {
-		st.Degraded = latest.Degraded
-		st.HostStates = latest.Hosts
-	}
-	writeJSON(w, http.StatusOK, st)
+	s.writeJSON(w, http.StatusOK, st)
 }
 
-func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleAllocation(w http.ResponseWriter, r *http.Request) {
+	// RawQuery check first: r.URL.Query() allocates, and the common
+	// full-scrape GET must stay allocation-free.
+	if r.URL.RawQuery != "" {
+		if raw := r.URL.Query().Get("since"); raw != "" {
+			s.handleAllocationDelta(w, raw)
+			return
+		}
+	}
+	if snap := s.served.Load(); snap != nil && snap.allocation != nil {
+		s.writeCached(w, snap.allocation)
+		return
+	}
 	s.mu.RLock()
 	latest := s.latest
 	s.mu.RUnlock()
 	if latest == nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: "no tick yet"})
+		s.writeJSON(w, http.StatusNotFound, errorJSON{Error: "no tick yet"})
 		return
 	}
-	writeJSON(w, http.StatusOK, latest)
+	s.writeJSON(w, http.StatusOK, latest)
 }
 
 // handleScenario reports lifecycle scenario progress: 404 when the
 // daemon runs without a scenario.
 func (s *Server) handleScenario(w http.ResponseWriter, _ *http.Request) {
+	if snap := s.served.Load(); snap != nil && snap.scenario != nil {
+		s.writeCached(w, snap.scenario)
+		return
+	}
 	s.mu.RLock()
 	scen := s.scenario
 	s.mu.RUnlock()
 	if scen == nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: "no scenario configured"})
+		s.writeJSON(w, http.StatusNotFound, errorJSON{Error: "no scenario configured"})
 		return
 	}
-	writeJSON(w, http.StatusOK, scen)
+	s.writeJSON(w, http.StatusOK, scen)
 }
 
 func (s *Server) handleEnergy(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	energy := s.energy
-	s.mu.RUnlock()
-	if energy.PerTenantWh == nil {
-		energy.PerTenantWh = map[string]float64{}
+	if snap := s.served.Load(); snap != nil && snap.energy != nil {
+		s.writeCached(w, snap.energy)
+		return
 	}
-	writeJSON(w, http.StatusOK, energy)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	s.mu.RLock()
+	energy := s.energyLocked()
+	s.mu.RUnlock()
+	s.writeJSON(w, http.StatusOK, energy)
 }
 
 type errorJSON struct {

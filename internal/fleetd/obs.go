@@ -55,6 +55,7 @@ type serverObs struct {
 
 	ticks       *obs.Counter
 	tickErrors  *obs.Counter
+	encodeErrs  *obs.Counter
 	degraded    *obs.Counter
 	quarantines *obs.Counter
 	readmits    *obs.Counter
@@ -150,6 +151,8 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 		ticks:    reg.Counter("vmpower_fleet_ticks_total", "fleet estimation ticks completed"),
 		tickErrors: reg.Counter("vmpower_fleet_tick_errors_total",
 			"fleet estimation ticks that failed entirely"),
+		encodeErrs: reg.Counter("vmpower_http_encode_errors_total",
+			"HTTP response bodies that failed to encode or write"),
 		degraded: reg.Counter("vmpower_fleet_degraded_ticks_total",
 			"fleet ticks with at least one degraded or quarantined host"),
 		quarantines: reg.Counter("vmpower_fleet_quarantines_total",

@@ -1,0 +1,434 @@
+package fleetd
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"vmpower/internal/cliutil"
+	"vmpower/internal/fleet"
+	"vmpower/internal/obs"
+	"vmpower/internal/scenario"
+)
+
+// getBody fetches path and returns the raw bytes, for bit-identity
+// comparisons against the cached snapshot.
+func getBody(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// scenarioServer builds an instrumented 3-host fleet driving script,
+// ready to Step.
+func scenarioServer(t *testing.T, script string) *Server {
+	t.Helper()
+	f, err := fleet.New(fleet.Config{
+		Hosts:            3,
+		Seed:             11,
+		MeterNoise:       0,
+		CalibrationTicks: 6,
+		Parallelism:      -1,
+	}, lifecycleReqs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Instrument(obs.NewRegistry(), obs.NewLogger(io.Discard, obs.LevelError, obs.FormatKV), time.Minute)
+	events, err := cliutil.ParseScenario(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := scenario.New(f, events, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetScenario(engine)
+	return srv
+}
+
+// TestFleetCachedBytesIdentical pins the serving-path contract on the
+// fleet daemon: the cached snapshot bytes are bit-identical to a fresh
+// per-request encode of the same tick's state, across several ticks —
+// including the scenario endpoint while a scenario runs.
+func TestFleetCachedBytesIdentical(t *testing.T) {
+	srv := scenarioServer(t, "s1@2:poweroff,s1@4:poweron")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		if _, err := srv.Step(); err != nil {
+			t.Fatal(err)
+		}
+		srv.mu.RLock()
+		wantAlloc, err1 := encodeJSON(srv.latest)
+		wantStatus, err2 := encodeJSON(srv.statusLocked())
+		wantEnergy, err3 := encodeJSON(srv.energyLocked())
+		wantScen, err4 := encodeJSON(srv.scenario)
+		srv.mu.RUnlock()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			t.Fatal(err1, err2, err3, err4)
+		}
+		if got := getBody(t, ts, "/api/v1/allocation"); !bytes.Equal(got, wantAlloc) {
+			t.Fatalf("tick %d: cached allocation differs from fresh encode:\n got %s\nwant %s", i, got, wantAlloc)
+		}
+		if got := getBody(t, ts, "/api/v1/status"); !bytes.Equal(got, wantStatus) {
+			t.Fatalf("tick %d: cached status differs from fresh encode:\n got %s\nwant %s", i, got, wantStatus)
+		}
+		if got := getBody(t, ts, "/api/v1/energy"); !bytes.Equal(got, wantEnergy) {
+			t.Fatalf("tick %d: cached energy differs from fresh encode:\n got %s\nwant %s", i, got, wantEnergy)
+		}
+		if got := getBody(t, ts, "/api/v1/scenario"); !bytes.Equal(got, wantScen) {
+			t.Fatalf("tick %d: cached scenario differs from fresh encode:\n got %s\nwant %s", i, got, wantScen)
+		}
+	}
+}
+
+// composeTick applies a TickDeltaJSON to a base tick the way a delta
+// client would: overwrite scalars, upsert per-VM/per-tenant, delete the
+// removed names, replace host rows by id (dropping removed hosts), and
+// take Unaccounted/Events/Migrations wholesale.
+func composeTick(base *TickJSON, d *TickDeltaJSON) *TickJSON {
+	out := &TickJSON{
+		Tick:               d.Tick,
+		MeasuredWatts:      d.MeasuredWatts,
+		DynamicWatts:       d.DynamicWatts,
+		PerVM:              map[string]float64{},
+		PerTenant:          map[string]float64{},
+		Degraded:           d.Degraded,
+		DegradedHosts:      d.DegradedHosts,
+		QuarantinedHosts:   d.QuarantinedHosts,
+		DrainingHosts:      d.DrainingHosts,
+		DrainedHosts:       d.DrainedHosts,
+		IdleUnmeteredHosts: d.IdleUnmeteredHosts,
+		Unaccounted:        d.Unaccounted,
+		Events:             d.Events,
+		Migrations:         d.Migrations,
+	}
+	for name, w := range base.PerVM {
+		out.PerVM[name] = w
+	}
+	for name, w := range base.PerTenant {
+		out.PerTenant[name] = w
+	}
+	for name, w := range d.PerVM {
+		out.PerVM[name] = w
+	}
+	for name, w := range d.PerTenant {
+		out.PerTenant[name] = w
+	}
+	for _, name := range d.RemovedVMs {
+		delete(out.PerVM, name)
+	}
+	for _, name := range d.RemovedTenants {
+		delete(out.PerTenant, name)
+	}
+	hosts := map[int]HostJSON{}
+	for _, h := range base.Hosts {
+		hosts[h.Host] = h
+	}
+	for _, h := range d.Hosts {
+		hosts[h.Host] = h
+	}
+	for _, id := range d.RemovedHosts {
+		delete(hosts, id)
+	}
+	ids := make([]int, 0, len(hosts))
+	for id := range hosts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out.Hosts = append(out.Hosts, hosts[id])
+	}
+	return out
+}
+
+// TestFleetDeltaComposes runs a hot-plug + remove scenario and pins the
+// fleet delta contract: a single tick's delta carries exactly the hosts
+// and VMs whose wire value changed, a windowed delta observes the
+// roster removal, and composing base + delta reconstructs the full tick
+// bit-for-bit.
+func TestFleetDeltaComposes(t *testing.T) {
+	srv := scenarioServer(t, "n1@3:hotplug:2:small:dave:gcc:77,n1@10:remove")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Past the hot-plug: n1 is live.
+	for i := 0; i < 5; i++ {
+		if _, err := srv.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var base TickJSON
+	if code := getJSON(t, ts, "/api/v1/allocation", &base); code != http.StatusOK {
+		t.Fatalf("full allocation: status %d", code)
+	}
+	if _, ok := base.PerVM["n1"]; !ok {
+		t.Fatalf("hot-plugged VM missing from base: %v", base.PerVM)
+	}
+
+	// One tick: the delta must carry exactly what changed.
+	if _, err := srv.Step(); err != nil {
+		t.Fatal(err)
+	}
+	var full TickJSON
+	if code := getJSON(t, ts, "/api/v1/allocation", &full); code != http.StatusOK {
+		t.Fatalf("full allocation: status %d", code)
+	}
+	var delta TickDeltaJSON
+	if code := getJSON(t, ts, "/api/v1/allocation?since="+strconv.Itoa(base.Tick), &delta); code != http.StatusOK {
+		t.Fatalf("delta: status %d", code)
+	}
+	if delta.Full {
+		t.Fatalf("since inside the window must not resync: %+v", delta)
+	}
+	for name, w := range full.PerVM {
+		dw, inDelta := delta.PerVM[name]
+		bw, inBase := base.PerVM[name]
+		if changed := !inBase || bw != w; changed != inDelta {
+			t.Fatalf("VM %s: changed=%v but delta membership=%v", name, changed, inDelta)
+		} else if inDelta && dw != w {
+			t.Fatalf("VM %s: delta carries %v, latest is %v", name, dw, w)
+		}
+	}
+	baseHosts := map[int]*HostJSON{}
+	for i := range base.Hosts {
+		baseHosts[base.Hosts[i].Host] = &base.Hosts[i]
+	}
+	inDelta := map[int]bool{}
+	for i := range delta.Hosts {
+		inDelta[delta.Hosts[i].Host] = true
+	}
+	for i := range full.Hosts {
+		h := &full.Hosts[i]
+		prev, ok := baseHosts[h.Host]
+		if changed := !ok || !hostEqual(prev, h); changed != inDelta[h.Host] {
+			t.Fatalf("host %d: changed=%v but delta membership=%v", h.Host, changed, inDelta[h.Host])
+		}
+	}
+	composed := composeTick(&base, &delta)
+	a, _ := encodeJSON(composed)
+	b, _ := encodeJSON(&full)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("composed tick differs:\n got %s\nwant %s", a, b)
+	}
+
+	// Through the removal: a windowed delta must say n1 is gone, and
+	// still compose exactly.
+	for i := 0; i < 7; i++ {
+		if _, err := srv.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var full2 TickJSON
+	if code := getJSON(t, ts, "/api/v1/allocation", &full2); code != http.StatusOK {
+		t.Fatalf("full allocation: status %d", code)
+	}
+	if _, ok := full2.PerVM["n1"]; ok {
+		t.Fatalf("n1 still present after remove: %v", full2.PerVM)
+	}
+	var delta2 TickDeltaJSON
+	if code := getJSON(t, ts, "/api/v1/allocation?since="+strconv.Itoa(base.Tick), &delta2); code != http.StatusOK {
+		t.Fatalf("windowed delta: status %d", code)
+	}
+	removed := false
+	for _, name := range delta2.RemovedVMs {
+		if name == "n1" {
+			removed = true
+		}
+	}
+	if !removed {
+		t.Fatalf("windowed delta must report n1 removed: %+v", delta2.RemovedVMs)
+	}
+	composed2 := composeTick(&base, &delta2)
+	a2, _ := encodeJSON(composed2)
+	b2, _ := encodeJSON(&full2)
+	if !bytes.Equal(a2, b2) {
+		t.Fatalf("composed tick (with removal) differs:\n got %s\nwant %s", a2, b2)
+	}
+
+	// Edge cases: current client, ahead-of-daemon client, malformed.
+	var empty TickDeltaJSON
+	if code := getJSON(t, ts, "/api/v1/allocation?since="+strconv.Itoa(full2.Tick), &empty); code != http.StatusOK {
+		t.Fatalf("empty delta: status %d", code)
+	}
+	if empty.Full || len(empty.PerVM) != 0 || len(empty.Hosts) != 0 {
+		t.Fatalf("current client must get an empty delta: %+v", empty)
+	}
+	var resync TickDeltaJSON
+	if code := getJSON(t, ts, "/api/v1/allocation?since="+strconv.Itoa(full2.Tick+999), &resync); code != http.StatusOK {
+		t.Fatalf("resync: status %d", code)
+	}
+	if !resync.Full || len(resync.PerVM) != len(full2.PerVM) || len(resync.Hosts) != len(full2.Hosts) {
+		t.Fatalf("ahead-of-daemon client must get a full resync: %+v", resync)
+	}
+	var e errorJSON
+	if code := getJSON(t, ts, "/api/v1/allocation?since=-3", &e); code != http.StatusBadRequest {
+		t.Fatalf("bad since: status %d, want 400", code)
+	}
+}
+
+// nullResponseWriter is a reusable ResponseWriter for allocation pins:
+// the header map is allocated once and the body discarded.
+type nullResponseWriter struct {
+	h http.Header
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestFleetCachedGetZeroAllocs pins zero allocations per cached GET on
+// the fleet daemon's read-mostly endpoints.
+func TestFleetCachedGetZeroAllocs(t *testing.T) {
+	f := smallFleet(t)
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Step(); err != nil {
+		t.Fatal(err)
+	}
+	w := &nullResponseWriter{h: make(http.Header)}
+	for _, tc := range []struct {
+		path    string
+		handler http.HandlerFunc
+	}{
+		{"/api/v1/allocation", srv.handleAllocation},
+		{"/api/v1/status", srv.handleStatus},
+		{"/api/v1/energy", srv.handleEnergy},
+	} {
+		req := httptest.NewRequest(http.MethodGet, tc.path, nil)
+		if avg := testing.AllocsPerRun(200, func() { tc.handler(w, req) }); avg != 0 {
+			t.Errorf("%s: %v allocs per cached GET, want 0", tc.path, avg)
+		}
+	}
+}
+
+// TestRosterScrapeRace is the regression pin for the fleetd roster
+// races: handleStatus and handleHealthz used to call s.f.Hosts() /
+// s.f.EmptyHosts() from handler goroutines, racing the hot-plug/remove
+// mutations the scenario engine applies on the Step goroutine. The
+// assertion is -race staying quiet while scrapers hammer both endpoints
+// through roster churn; responses must also stay well-formed.
+func TestRosterScrapeRace(t *testing.T) {
+	srv := scenarioServer(t,
+		"n1@2:hotplug:2:small:dave:gcc:77,n1@8:remove,"+
+			"n2@5:hotplug:2:small:dave:gcc:78,n2@12:remove")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/api/v1/status", "/healthz"} {
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := http.Get(ts.URL + p)
+					if err != nil {
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("%s: status %d", p, resp.StatusCode)
+						return
+					}
+				}
+			}(path)
+		}
+	}
+	for i := 0; i < 15; i++ {
+		if _, err := srv.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	var st StatusJSON
+	if code := getJSON(t, ts, "/api/v1/status", &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if st.Hosts != 3 {
+		t.Fatalf("status hosts = %d, want 3", st.Hosts)
+	}
+}
+
+// failingResponseWriter rejects every body write, standing in for a
+// client that hung up mid-response.
+type failingResponseWriter struct {
+	h http.Header
+}
+
+func (w *failingResponseWriter) Header() http.Header { return w.h }
+func (w *failingResponseWriter) WriteHeader(int)     {}
+func (w *failingResponseWriter) Write([]byte) (int, error) {
+	return 0, errors.New("client gone")
+}
+
+// TestFleetEncodeErrorsCounted pins the silent-failure fix on the fleet
+// daemon: body encode/write failures land in
+// vmpower_http_encode_errors_total instead of being discarded.
+func TestFleetEncodeErrorsCounted(t *testing.T) {
+	f := smallFleet(t)
+	if err := f.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Instrument(obs.NewRegistry(), obs.NewLogger(io.Discard, obs.LevelError, obs.FormatKV), time.Minute)
+	if _, err := srv.Step(); err != nil {
+		t.Fatal(err)
+	}
+	o := srv.telemetry.Load()
+	if o.encodeErrs.Value() != 0 {
+		t.Fatalf("counter starts at %d, want 0", o.encodeErrs.Value())
+	}
+	w := &failingResponseWriter{h: make(http.Header)}
+	srv.handleAllocation(w, httptest.NewRequest(http.MethodGet, "/api/v1/allocation", nil))
+	if got := o.encodeErrs.Value(); got != 1 {
+		t.Fatalf("after failing cached write: counter %d, want 1", got)
+	}
+	srv.handleAllocation(w, httptest.NewRequest(http.MethodGet, "/api/v1/allocation?since=0", nil))
+	if got := o.encodeErrs.Value(); got != 2 {
+		t.Fatalf("after failing delta write: counter %d, want 2", got)
+	}
+}

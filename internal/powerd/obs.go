@@ -46,6 +46,7 @@ type serverObs struct {
 
 	ticks       *obs.Counter
 	tickErrors  *obs.Counter
+	encodeErrs  *obs.Counter
 	degraded    *obs.Counter
 	rejected    *obs.Counter
 	degradedNow *obs.Gauge
@@ -113,6 +114,8 @@ func (s *Server) Instrument(reg *obs.Registry, log *obs.Logger, interval time.Du
 			"estimation tick latency", tickStages...),
 		ticks:      reg.Counter("vmpower_ticks_total", "estimation ticks completed"),
 		tickErrors: reg.Counter("vmpower_tick_errors_total", "estimation ticks that failed"),
+		encodeErrs: reg.Counter("vmpower_http_encode_errors_total",
+			"HTTP response bodies that failed to encode or write"),
 		degraded: reg.Counter("vmpower_degraded_ticks_total",
 			"ticks served from holdover or fallback instead of a fresh plausible reading"),
 		rejected: reg.Counter("vmpower_rejected_samples_total",

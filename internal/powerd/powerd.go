@@ -6,7 +6,6 @@
 package powerd
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -71,6 +70,11 @@ type Server struct {
 	now       func() time.Time
 	createdAt time.Time
 
+	// served is the tick-published, pre-encoded HTTP surface: one
+	// atomic pointer swap per tick, cached bytes per request (nil until
+	// the first tick — handlers fall back to the per-request path).
+	served atomic.Pointer[servedSnapshot]
+
 	mu            sync.RWMutex
 	interval      time.Duration
 	latest        *AllocationJSON
@@ -86,6 +90,17 @@ type Server struct {
 	lastDegraded  string
 	lastTickAt    time.Time
 	lastErr       string
+	// prevPerVM and deltaLog back /api/v1/allocation?since=: the wire
+	// value each VM last published, and the bounded per-tick changed-VM
+	// log (see serve.go).
+	prevPerVM map[string]float64
+	deltaLog  []vmDelta
+
+	// intMu single-flights the O(2^n) interaction matrix: one compute
+	// and one encode per tick no matter how many scrapers ask.
+	intMu   sync.Mutex
+	intTick int
+	intBody []byte
 }
 
 // InteractionsJSON is the wire form of the live interference matrix.
@@ -114,9 +129,11 @@ func New(est *core.Estimator, names []string, historySize int) (*Server, error) 
 		names:     append([]string(nil), names...),
 		histCap:   historySize,
 		energyWs:  make(map[string]float64, len(names)),
+		prevPerVM: make(map[string]float64, len(names)),
 		interval:  time.Second,
 		now:       time.Now,
 		createdAt: time.Now(),
+		intTick:   -1,
 	}, nil
 }
 
@@ -248,6 +265,7 @@ func (s *Server) record(alloc *core.Allocation, snap *hypervisor.Snapshot) *Allo
 	s.ticks++
 	s.lastTickAt = s.now()
 	s.lastErr = ""
+	s.publishLocked(wire)
 	return wire
 }
 
@@ -255,6 +273,7 @@ func (s *Server) record(alloc *core.Allocation, snap *hypervisor.Snapshot) *Allo
 //
 //	GET /api/v1/status     — calibration state, idle power, VM list
 //	GET /api/v1/allocation — the most recent allocation
+//	GET /api/v1/allocation?since=<tick> — only the VMs changed after <tick> (see AllocationDeltaJSON)
 //	GET /api/v1/history?n=K — the last K allocations (default all buffered)
 //	GET /api/v1/energy     — cumulative per-VM energy in watt-hours
 //	GET /api/v1/interactions — the live pairwise interference matrix
@@ -289,13 +308,13 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	o := s.telemetry.Load()
 	if o == nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: "not instrumented"})
+		s.writeJSON(w, http.StatusNotFound, errorJSON{Error: "not instrumented"})
 		return
 	}
 	if r.URL.Query().Get("trigger") == "last" {
 		d := o.lastDump.Load()
 		if d == nil {
-			writeJSON(w, http.StatusNotFound, errorJSON{Error: "no triggered dump yet"})
+			s.writeJSON(w, http.StatusNotFound, errorJSON{Error: "no triggered dump yet"})
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -371,37 +390,54 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			h.HoldoverAgeTicks = latest.HoldoverAgeTicks
 		}
 	}
-	writeJSON(w, status, h)
+	s.writeJSON(w, status, h)
 }
 
 // handleInteractions serves the live pairwise interference matrix of the
 // most recent tick, computed from the same approximated worths the
-// allocation used.
+// allocation used. The matrix costs O(2^n) worth evaluations, so it is
+// computed and encoded at most once per tick (single-flight under
+// intMu) and a scrape storm serves the cached bytes. Estimator
+// thread-safety: Interactions only reads immutable calibration state and
+// the approximator's RWMutex-guarded tables, never the per-tick scratch
+// EstimateTick owns, so it is safe to run concurrently with Step —
+// pinned by TestInteractionsConcurrentWithStep under -race.
 func (s *Server) handleInteractions(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	snap := s.lastSnap
 	power := s.lastPow
 	s.mu.RUnlock()
 	if snap == nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: "no tick yet"})
+		s.writeJSON(w, http.StatusNotFound, errorJSON{Error: "no tick yet"})
+		return
+	}
+	s.intMu.Lock()
+	if s.intTick == snap.Tick && s.intBody != nil {
+		body := s.intBody
+		s.intMu.Unlock()
+		s.writeCached(w, body)
 		return
 	}
 	idx, err := s.est.Interactions(*snap, power)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		s.intMu.Unlock()
+		s.writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, InteractionsJSON{
+	out := InteractionsJSON{
 		Tick:  snap.Tick,
 		VMs:   append([]string(nil), s.names...),
 		Watts: idx,
-	})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	}
+	body, err := encodeJSON(out)
+	if err != nil {
+		s.intMu.Unlock()
+		s.writeJSON(w, http.StatusOK, out)
+		return
+	}
+	s.intTick, s.intBody = snap.Tick, body
+	s.intMu.Unlock()
+	s.writeCached(w, body)
 }
 
 type errorJSON struct {
@@ -409,34 +445,35 @@ type errorJSON struct {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	if d := s.served.Load(); d != nil && d.status != nil {
+		s.writeCached(w, d.status)
+		return
+	}
 	s.mu.RLock()
-	ticks := s.ticks
-	degradedTicks := s.degradedTicks
-	rejected := s.rejected
-	lastDegraded := s.lastDegraded
-	degraded := s.latest != nil && s.latest.Degraded
+	st := s.statusLocked()
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, StatusJSON{
-		Calibrated:         s.est.Trained(),
-		IdleWatts:          s.est.IdlePower(),
-		VMs:                append([]string(nil), s.names...),
-		Ticks:              ticks,
-		Degraded:           degraded,
-		DegradedTicks:      degradedTicks,
-		RejectedSamples:    rejected,
-		LastDegradedReason: lastDegraded,
-	})
+	s.writeJSON(w, http.StatusOK, st)
 }
 
-func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleAllocation(w http.ResponseWriter, r *http.Request) {
+	if r.URL.RawQuery != "" {
+		if raw := r.URL.Query().Get("since"); raw != "" {
+			s.handleAllocationDelta(w, raw)
+			return
+		}
+	}
+	if d := s.served.Load(); d != nil && d.allocation != nil {
+		s.writeCached(w, d.allocation)
+		return
+	}
 	s.mu.RLock()
 	latest := s.latest
 	s.mu.RUnlock()
 	if latest == nil {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: "no allocation yet"})
+		s.writeJSON(w, http.StatusNotFound, errorJSON{Error: "no allocation yet"})
 		return
 	}
-	writeJSON(w, http.StatusOK, latest)
+	s.writeJSON(w, http.StatusOK, latest)
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
@@ -444,7 +481,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("n"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 1 {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "n must be a positive integer"})
+			s.writeJSON(w, http.StatusBadRequest, errorJSON{Error: "n must be a positive integer"})
 			return
 		}
 		n = v
@@ -457,20 +494,16 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	out := make([]*AllocationJSON, len(hist))
 	copy(out, hist)
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleEnergy(w http.ResponseWriter, _ *http.Request) {
+	if d := s.served.Load(); d != nil && d.energy != nil {
+		s.writeCached(w, d.energy)
+		return
+	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := EnergyJSON{
-		Seconds: s.energySeconds,
-		PerVMWh: make(map[string]float64, len(s.energyWs)),
-	}
-	for name, ws := range s.energyWs {
-		wh := ws / 3600
-		out.PerVMWh[name] = wh
-		out.TotalWh += wh
-	}
-	writeJSON(w, http.StatusOK, out)
+	out := s.energyLocked()
+	s.mu.RUnlock()
+	s.writeJSON(w, http.StatusOK, out)
 }
